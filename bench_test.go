@@ -1,0 +1,158 @@
+// Benchmarks: one per paper artifact (tables 1-3, figures 3-22), each
+// regenerating a scaled-down version of the experiment and reporting
+// its headline metric via b.ReportMetric. Run the full-size versions
+// with cmd/netcrafter-bench.
+package netcrafter_test
+
+import (
+	"testing"
+
+	"netcrafter"
+	"netcrafter/internal/bench"
+	"netcrafter/internal/workload"
+)
+
+// benchOpts keeps benchmark iterations affordable: Tiny scale over a
+// representative subset covering every access-pattern class.
+func benchOpts(workloads ...string) bench.Options {
+	if len(workloads) == 0 {
+		workloads = []string{"GUPS", "SPMV", "MT", "BS"}
+	}
+	return bench.Options{Scale: workload.Tiny(), Workloads: workloads, Limit: 50_000_000}
+}
+
+// runExp executes the experiment b.N times and reports metric (the
+// value at row/col of the final report).
+func runExp(b *testing.B, id string, opt bench.Options, row, col, metricName string) {
+	b.Helper()
+	var rep *bench.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if v, ok := rep.Value(row, col); ok {
+		b.ReportMetric(v, metricName)
+	}
+}
+
+func BenchmarkTable1Categorize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := netcrafter.Table1(16)
+		if len(rows) != 6 {
+			b.Fatal("table1 wrong")
+		}
+	}
+}
+
+func BenchmarkTable2Config(b *testing.B) { runExp(b, "table2", benchOpts(), "gpus", "value", "gpus") }
+func BenchmarkTable3Workloads(b *testing.B) {
+	runExp(b, "table3", benchOpts(), "GUPS", "wavefronts", "waves")
+}
+
+func BenchmarkFig3IdealVsBaseline(b *testing.B) {
+	runExp(b, "fig3", benchOpts("GUPS", "SPMV"), "GMEAN", "ideal-speedup", "speedup")
+}
+
+func BenchmarkFig4Utilization(b *testing.B) {
+	runExp(b, "fig4", benchOpts("GUPS", "SPMV"), "GUPS", "non-uniform", "util")
+}
+
+func BenchmarkFig5Latency(b *testing.B) {
+	runExp(b, "fig5", benchOpts("GUPS", "SPMV"), "GUPS", "ideal", "normlat")
+}
+
+func BenchmarkFig6Occupancy(b *testing.B) {
+	runExp(b, "fig6", benchOpts("GUPS", "SPMV"), "GUPS", "pad75", "pad75share")
+}
+
+func BenchmarkFig7BytesNeeded(b *testing.B) {
+	runExp(b, "fig7", benchOpts("GUPS", "BS"), "GUPS", "le16", "le16share")
+}
+
+func BenchmarkFig8PTWPriority(b *testing.B) {
+	runExp(b, "fig8", benchOpts("GUPS"), "GMEAN", "prioritize-ptw", "speedup")
+}
+
+func BenchmarkFig9PTWShare(b *testing.B) {
+	runExp(b, "fig9", benchOpts("GUPS", "SPMV"), "GUPS", "ptw-share", "share")
+}
+
+func BenchmarkFig12StitchRate(b *testing.B) {
+	runExp(b, "fig12", benchOpts("GUPS"), "GUPS", "with-pooling", "stitchrate")
+}
+
+func BenchmarkFig14Overall(b *testing.B) {
+	runExp(b, "fig14", benchOpts("GUPS", "SPMV", "BS"), "GMEAN", "netcrafter", "speedup")
+}
+
+func BenchmarkFig15Latency(b *testing.B) {
+	runExp(b, "fig15", benchOpts("GUPS"), "GUPS", "netcrafter", "normlat")
+}
+
+func BenchmarkFig16MPKI(b *testing.B) {
+	runExp(b, "fig16", benchOpts("MT", "GUPS"), "MT", "sector-16B", "mpki")
+}
+
+func BenchmarkFig17Granularity(b *testing.B) {
+	runExp(b, "fig17", benchOpts(), "16B", "netcrafter-trim", "mpki")
+}
+
+func BenchmarkFig18Pooling(b *testing.B) {
+	runExp(b, "fig18", benchOpts("GUPS"), "GMEAN", "pool32", "speedup")
+}
+
+func BenchmarkFig19SelectivePooling(b *testing.B) {
+	runExp(b, "fig19", benchOpts("GUPS"), "GMEAN", "pool32", "speedup")
+}
+
+func BenchmarkFig20ByteReduction(b *testing.B) {
+	runExp(b, "fig20", benchOpts("GUPS"), "GUPS", "pool32", "normbytes")
+}
+
+func BenchmarkFig21FlitSize(b *testing.B) {
+	runExp(b, "fig21", benchOpts("GUPS"), "GMEAN", "16B-flit", "speedup")
+}
+
+func BenchmarkFig22Bandwidth(b *testing.B) {
+	runExp(b, "fig22", benchOpts("GUPS"), "128:16", "netcrafter-speedup", "speedup")
+}
+
+// BenchmarkAblationStitchScope compares the paper's cross-partition
+// candidate search against a same-partition-only ablation.
+func BenchmarkAblationStitchScope(b *testing.B) {
+	var all, same float64
+	for i := 0; i < b.N; i++ {
+		cfgAll := netcrafter.Baseline()
+		cfgAll.NetCrafter.EnableStitch = true
+		cfgSame := cfgAll
+		cfgSame.NetCrafter.StitchScope = netcrafter.ScopeSamePartition
+		ra, err := netcrafter.Run(cfgAll, "GUPS", netcrafter.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := netcrafter.Run(cfgSame, "GUPS", netcrafter.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		all, same = ra.Net.StitchRate(), rs.Net.StitchRate()
+	}
+	b.ReportMetric(all, "stitchrate-all")
+	b.ReportMetric(same, "stitchrate-same")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (cycles/sec) on the baseline system — the engineering metric.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := netcrafter.Run(netcrafter.Baseline(), "GUPS", netcrafter.Tiny())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += int64(r.Cycles)
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles/op")
+}

@@ -1,0 +1,80 @@
+// Command netcrafter-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	netcrafter-bench -exp fig14              # one artifact
+//	netcrafter-bench -exp all -scale small   # everything (slow)
+//	netcrafter-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netcrafter"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1..3, fig3..fig22) or 'all'")
+		scale  = flag.String("scale", "small", "tiny | small | medium")
+		wls    = flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "text", "text | json | csv | chart")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(netcrafter.Experiments(), "\n"))
+		return
+	}
+
+	opt := netcrafter.ExperimentOptions{}
+	switch *scale {
+	case "tiny":
+		opt.Scale = netcrafter.Tiny()
+	case "small":
+		opt.Scale = netcrafter.Small()
+	case "medium":
+		opt.Scale = netcrafter.Medium()
+	default:
+		fail(fmt.Errorf("unknown -scale %q", *scale))
+	}
+	if *wls != "" {
+		opt.Workloads = strings.Split(*wls, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = netcrafter.Experiments()
+	}
+	for _, id := range ids {
+		rep, err := netcrafter.RunExperiment(id, opt)
+		if err != nil {
+			fail(err)
+		}
+		switch *format {
+		case "json":
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fail(err)
+			}
+		case "chart":
+			if err := rep.WriteChart(os.Stdout); err != nil {
+				fail(err)
+			}
+		default:
+			fmt.Println(rep)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netcrafter-bench:", err)
+	os.Exit(1)
+}

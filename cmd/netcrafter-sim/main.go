@@ -1,0 +1,147 @@
+// Command netcrafter-sim runs one workload on one system configuration
+// and prints the measured statistics.
+//
+// Usage:
+//
+//	netcrafter-sim [-workload GUPS] [-config baseline|ideal|netcrafter|sector]
+//	               [-scale tiny|small|medium] [-inter 16] [-intra 128]
+//	               [-pool 32] [-flit 16] [-seed 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netcrafter"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "GUPS", "workload name or 'all' (see -list)")
+		cfgSel = flag.String("config", "netcrafter", "baseline | ideal | netcrafter | sector")
+		scale  = flag.String("scale", "small", "tiny | small | medium")
+		inter  = flag.Int("inter", 0, "override inter-cluster GB/s")
+		intra  = flag.Int("intra", 0, "override intra-cluster GB/s")
+		pool   = flag.Int("pool", -1, "override Flit Pooling window (cycles)")
+		flitSz = flag.Int("flit", 0, "override flit size in bytes (8 or 16)")
+		seed   = flag.Uint64("seed", 1, "workload seed")
+		list   = flag.Bool("list", false, "list workloads and exit")
+		verb   = flag.Bool("v", false, "verbose per-type traffic breakdown")
+		traceF = flag.String("trace", "", "write a JSON-lines wire trace to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(netcrafter.Workloads(), "\n"))
+		return
+	}
+
+	cfg, err := pickConfig(*cfgSel)
+	if err != nil {
+		fail(err)
+	}
+	if *inter > 0 {
+		cfg.InterGBps = *inter
+	}
+	if *intra > 0 {
+		cfg.IntraGBps = *intra
+	}
+	if *pool >= 0 {
+		cfg.NetCrafter.PoolingCycles = netcrafter.Cycle(*pool)
+	}
+	if *flitSz > 0 {
+		cfg.NetCrafter.FlitBytes = *flitSz
+		cfg.GPU.FlitBytes = *flitSz
+	}
+	cfg.Seed = *seed
+
+	sc, err := pickScale(*scale)
+	if err != nil {
+		fail(err)
+	}
+	sc.Seed = *seed
+
+	names := []string{*wl}
+	if *wl == "all" {
+		names = netcrafter.Workloads()
+	}
+	var rec *netcrafter.TraceRecorder
+	if *traceF != "" {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rec = netcrafter.NewTraceRecorder(f)
+		defer rec.Flush()
+	}
+
+	for _, name := range names {
+		var res *netcrafter.Result
+		var err error
+		if rec != nil {
+			sys := netcrafter.NewSystem(cfg)
+			sys.AttachTrace(rec)
+			res, err = netcrafter.RunOnSystem(sys, name, sc, 500_000_000)
+		} else {
+			res, err = netcrafter.Run(cfg, name, sc)
+		}
+		if err != nil {
+			fail(err)
+		}
+		printResult(res, *verb)
+	}
+	if rec != nil {
+		fmt.Printf("trace: %d events written to %s\n", rec.Events(), *traceF)
+	}
+}
+
+func pickConfig(sel string) (netcrafter.Config, error) {
+	switch sel {
+	case "baseline":
+		return netcrafter.Baseline(), nil
+	case "ideal":
+		return netcrafter.Ideal(), nil
+	case "netcrafter":
+		return netcrafter.WithNetCrafter(), nil
+	case "sector":
+		c := netcrafter.Baseline()
+		c.GPU.FetchMode = netcrafter.FetchSector
+		return c, nil
+	}
+	return netcrafter.Config{}, fmt.Errorf("unknown -config %q", sel)
+}
+
+func pickScale(sel string) (netcrafter.Scale, error) {
+	switch sel {
+	case "tiny":
+		return netcrafter.Tiny(), nil
+	case "small":
+		return netcrafter.Small(), nil
+	case "medium":
+		return netcrafter.Medium(), nil
+	}
+	return netcrafter.Scale{}, fmt.Errorf("unknown -scale %q", sel)
+}
+
+func printResult(r *netcrafter.Result, verbose bool) {
+	fmt.Printf("%-8s cycles=%-10d instr=%-8d L1acc=%-9d L1MPKI=%-7.2f\n",
+		r.Workload, r.Cycles, r.Instructions, r.L1Accesses, r.L1MPKI())
+	fmt.Printf("         inter-link util=%.2f  inter-lat=%.0fcy intra-lat=%.0fcy  remote r/w=%d/%d\n",
+		r.InterUtilization, r.InterReadLatency, r.IntraReadLatency, r.RemoteReads, r.RemoteWrites)
+	fmt.Printf("         flits=%d wireB=%d stitched=%.1f%% trimmedFlits=%d pooled=%d ptwShare=%.1f%%\n",
+		r.Net.FlitsTotal.Value(), r.Net.WireBytes.Value(), 100*r.Net.StitchRate(),
+		r.Net.FlitsTrimmed.Value(), r.Net.PooledFlits.Value(), 100*r.Net.PTWShare())
+	if verbose {
+		fmt.Printf("         by-type: %s\n", r.Net.FlitsByType)
+		fmt.Printf("         occupancy: %s\n", r.Net.Occupancy)
+		fmt.Printf("         bytes-needed: %s\n", r.BytesNeeded)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netcrafter-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command netcrafter-trace summarizes a JSON-lines wire trace produced
+// by netcrafter-sim -trace: event counts by kind and packet type, the
+// stitch/trim activity timeline, and inter-cluster throughput per
+// window.
+//
+// Usage:
+//
+//	netcrafter-sim -workload GUPS -trace /tmp/t.jsonl
+//	netcrafter-trace -in /tmp/t.jsonl [-window 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"netcrafter/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "trace file to analyze (required)")
+		window = flag.Int64("window", 1000, "cycles per throughput window")
+	)
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fail(err)
+	}
+	if len(events) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	byKind := map[trace.Kind]int{}
+	byType := map[string]int{}
+	var firstCycle, lastCycle int64
+	firstCycle = events[0].Cycle
+	for _, e := range events {
+		byKind[e.Kind]++
+		if e.Kind == trace.KindEject {
+			byType[e.Type]++
+		}
+		if e.Cycle < firstCycle {
+			firstCycle = e.Cycle
+		}
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+	}
+
+	fmt.Printf("trace: %d events over cycles %d..%d\n\n", len(events), firstCycle, lastCycle)
+	fmt.Println("events by kind:")
+	for _, k := range []trace.Kind{trace.KindEject, trace.KindStitch, trace.KindTrim, trace.KindPool, trace.KindUnstitch} {
+		if byKind[k] > 0 {
+			fmt.Printf("  %-9s %8d\n", k, byKind[k])
+		}
+	}
+
+	fmt.Println("\nejected flits by packet type:")
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	total := byKind[trace.KindEject]
+	for _, t := range types {
+		fmt.Printf("  %-9s %8d  (%.1f%%)\n", t, byType[t], 100*float64(byType[t])/float64(total))
+	}
+
+	// Per-window ejection throughput (both controllers combined).
+	if *window > 0 {
+		fmt.Printf("\nejections per %d-cycle window:\n", *window)
+		buckets := map[int64]int{}
+		for _, e := range events {
+			if e.Kind == trace.KindEject {
+				buckets[e.Cycle / *window]++
+			}
+		}
+		keys := make([]int64, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		maxShown := 20
+		for i, k := range keys {
+			if i >= maxShown {
+				fmt.Printf("  ... %d more windows\n", len(keys)-maxShown)
+				break
+			}
+			bar := ""
+			for b := 0; b < buckets[k]/50; b++ {
+				bar += "#"
+			}
+			fmt.Printf("  %8d  %6d %s\n", k**window, buckets[k], bar)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netcrafter-trace:", err)
+	os.Exit(1)
+}

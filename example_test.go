@@ -1,0 +1,42 @@
+package netcrafter_test
+
+import (
+	"fmt"
+
+	"netcrafter"
+)
+
+// ExampleTable1 regenerates the paper's Table 1 flit categorization.
+func ExampleTable1() {
+	for _, row := range netcrafter.Table1(16) {
+		fmt.Printf("%-9s occupied=%-3d required=%-3d padded=%-3d flits=%d\n",
+			row.Type, row.BytesOccupied, row.BytesRequired, row.BytesPadded, row.FlitsOccupied)
+	}
+	// Output:
+	// ReadReq   occupied=16  required=12  padded=4   flits=1
+	// WriteReq  occupied=80  required=76  padded=4   flits=5
+	// PTReq     occupied=16  required=12  padded=4   flits=1
+	// ReadRsp   occupied=80  required=68  padded=12  flits=5
+	// WriteRsp  occupied=16  required=4   padded=12  flits=1
+	// PTRsp     occupied=16  required=12  padded=4   flits=1
+}
+
+// ExampleRun shows the canonical baseline-vs-NetCrafter comparison.
+func ExampleRun() {
+	sc := netcrafter.Tiny()
+	base, err := netcrafter.Run(netcrafter.Baseline(), "GUPS", sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	nc, err := netcrafter.Run(netcrafter.WithNetCrafter(), "GUPS", sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("traffic reduced: %v\n", nc.Net.WireBytes.Value() < base.Net.WireBytes.Value())
+	fmt.Printf("trimming active: %v\n", nc.Net.PacketsTrimmed.Value() > 0)
+	// Output:
+	// traffic reduced: true
+	// trimming active: true
+}

@@ -1,0 +1,33 @@
+// Quickstart: run one network-bound workload on the baseline
+// non-uniform system and on the same system with NetCrafter enabled,
+// and report the speedup — the headline experiment of the paper in a
+// dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netcrafter"
+)
+
+func main() {
+	sc := netcrafter.Small()
+
+	base, err := netcrafter.Run(netcrafter.Baseline(), "GUPS", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nc, err := netcrafter.Run(netcrafter.WithNetCrafter(), "GUPS", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("GUPS on the non-uniform baseline: %d cycles (inter-cluster link %.0f%% busy)\n",
+		base.Cycles, 100*base.InterUtilization)
+	fmt.Printf("GUPS with NetCrafter:             %d cycles\n", nc.Cycles)
+	fmt.Printf("speedup: %.2fx\n", nc.Speedup(base))
+	fmt.Printf("inter-cluster traffic: %d -> %d bytes (%.0f%% stitched, %d flits trimmed)\n",
+		base.Net.WireBytes.Value(), nc.Net.WireBytes.Value(),
+		100*nc.Net.StitchRate(), nc.Net.FlitsTrimmed.Value())
+}

@@ -1,0 +1,3 @@
+module netcrafter
+
+go 1.22

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/lasp"
+)
+
+// Extension experiments beyond the paper's figures: the write-mask
+// trimming the paper sketches in its coherence discussion, and the
+// cluster-count scaling study its introduction motivates.
+
+func init() {
+	register(Experiment{ID: "ext-trimwrites", Title: "Write-mask trimming extension vs the paper's read-only trimming", Run: extTrimWrites})
+	register(Experiment{ID: "ext-scaling", Title: "NetCrafter speedup at 2 and 4 clusters", Run: extScaling})
+}
+
+// extTrimWrites compares the paper's design against the same design
+// with write trimming enabled, reporting speedups over the baseline and
+// the inter-cluster byte reduction.
+func extTrimWrites(opt Options) (*Report, error) {
+	base, err := runSuite(cluster.Baseline(), opt)
+	if err != nil {
+		return nil, err
+	}
+	paper, err := runSuite(cluster.WithNetCrafter(), opt)
+	if err != nil {
+		return nil, err
+	}
+	tw := cluster.WithNetCrafter()
+	tw.NetCrafter.TrimWrites = true
+	twRes, err := runSuite(tw, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "ext-trimwrites", Title: "Read-trim vs read+write-trim",
+		Columns: []string{"netcrafter", "with-write-trim", "bytes-ratio"},
+		Notes:   "extension: write-heavy sparse workloads gain additional byte savings"}
+	for _, w := range opt.Workloads {
+		br := 1.0
+		if b := paper[w].Net.WireBytes.Value(); b > 0 {
+			br = float64(twRes[w].Net.WireBytes.Value()) / float64(b)
+		}
+		rep.AddRow(w, speedup(base[w], paper[w]), speedup(base[w], twRes[w]), br)
+	}
+	rep.Mean()
+	return rep, nil
+}
+
+// extScaling runs baseline vs NetCrafter at 2 and 4 clusters (4 and 8
+// GPUs) to check the mechanisms keep paying as the hierarchy grows.
+func extScaling(opt Options) (*Report, error) {
+	rep := &Report{ID: "ext-scaling", Title: "NetCrafter speedup by cluster count (GMEAN over workloads)",
+		Columns: []string{"netcrafter-speedup", "baseline-util"},
+		Notes:   "extension: gains persist (or grow) as more clusters share the slow tier"}
+	for _, clusters := range []int{2, 4} {
+		base := cluster.Baseline()
+		base.GPUs = clusters * base.GPUsPerCluster
+		nc := cluster.WithNetCrafter()
+		nc.GPUs = clusters * nc.GPUsPerCluster
+		bres, err := runSuite(base, opt)
+		if err != nil {
+			return nil, err
+		}
+		nres, err := runSuite(nc, opt)
+		if err != nil {
+			return nil, err
+		}
+		sp := make([]float64, 0, len(opt.Workloads))
+		util := 0.0
+		for _, w := range opt.Workloads {
+			sp = append(sp, speedup(bres[w], nres[w]))
+			util += bres[w].InterUtilization
+		}
+		rep.AddRow(fmt.Sprintf("%d-clusters", clusters), geoMean(sp), util/float64(len(opt.Workloads)))
+	}
+	return rep, nil
+}
+
+func init() {
+	register(Experiment{ID: "ext-placement", Title: "LASP placement vs pattern-blind round-robin", Run: extPlacement})
+}
+
+// extPlacement validates the paper's Section-5.1 claim that LASP gives
+// an unbiased (well-mapped) baseline: pattern-blind round-robin
+// placement must not beat it.
+func extPlacement(opt Options) (*Report, error) {
+	laspRes, err := runSuite(cluster.Baseline(), opt)
+	if err != nil {
+		return nil, err
+	}
+	rr := cluster.Baseline()
+	rr.Placement = lasp.PolicyRoundRobin
+	rrRes, err := runSuite(rr, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "ext-placement", Title: "Round-robin placement slowdown vs LASP",
+		Columns: []string{"roundrobin-vs-lasp", "lasp-util", "rr-util"},
+		Notes:   "extension: LASP should win (ratio <= 1) on partitioned workloads by keeping accesses local"}
+	for _, w := range opt.Workloads {
+		rep.AddRow(w, speedup(laspRes[w], rrRes[w]), laspRes[w].InterUtilization, rrRes[w].InterUtilization)
+	}
+	rep.Mean()
+	return rep, nil
+}

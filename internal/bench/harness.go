@@ -1,0 +1,211 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated system. Each experiment is a
+// named recipe that runs the required configurations over the workload
+// suite and reports the same rows/series the paper plots. Absolute
+// numbers differ from the paper's testbed; the shapes (who wins, by
+// how much, where the crossovers are) are the reproduction target —
+// EXPERIMENTS.md records both.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+	"netcrafter/internal/workload"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Scale sizes the workloads (Tiny for smoke tests, Small for
+	// benches, Medium for the full regeneration).
+	Scale workload.Scale
+	// Workloads restricts the suite (nil = all fifteen).
+	Workloads []string
+	// Limit is the per-kernel cycle budget.
+	Limit sim.Cycle
+}
+
+// DefaultOptions returns bench-friendly options: the Small scale over
+// a representative six-workload subset.
+func DefaultOptions() Options {
+	return Options{
+		Scale:     workload.Small(),
+		Workloads: []string{"GUPS", "SPMV", "MT", "MIS", "BS", "SYR2K"},
+		Limit:     200_000_000,
+	}
+}
+
+// FullOptions runs every workload (used by cmd/netcrafter-bench).
+func FullOptions() Options {
+	return Options{Scale: workload.Small(), Workloads: workload.Names(), Limit: 500_000_000}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale.Steps == 0 {
+		o.Scale = workload.Small()
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Names()
+	}
+	if o.Limit == 0 {
+		o.Limit = 200_000_000
+	}
+	return o
+}
+
+// Row is one row of a report: a label (usually the workload) plus one
+// value per column.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Report is the regenerated form of one paper artifact.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes carries the expected shape from the paper for comparison.
+	Notes string
+}
+
+// AddRow appends a row.
+func (r *Report) AddRow(label string, values ...float64) {
+	if len(values) != len(r.Columns) {
+		panic(fmt.Sprintf("bench: row %s has %d values for %d columns", label, len(values), len(r.Columns)))
+	}
+	r.Rows = append(r.Rows, Row{Label: label, Values: values})
+}
+
+// Mean appends a geometric-mean row over the current rows for ratio
+// columns (label "GMEAN").
+func (r *Report) Mean() {
+	if len(r.Rows) == 0 {
+		return
+	}
+	vals := make([]float64, len(r.Columns))
+	for c := range r.Columns {
+		xs := make([]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			if row.Values[c] > 0 {
+				xs = append(xs, row.Values[c])
+			}
+		}
+		if len(xs) > 0 {
+			vals[c] = stats.GeoMean(xs)
+		}
+	}
+	r.Rows = append(r.Rows, Row{Label: "GMEAN", Values: vals})
+}
+
+// Value returns the value at (rowLabel, column), or ok=false.
+func (r *Report) Value(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == rowLabel {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s", row.Label)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, " %14.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "paper shape: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Experiment is one regenerable artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs lists registered experiments in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// Run executes one experiment by id.
+func Run(id string, opt Options) (*Report, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt.withDefaults())
+}
+
+// runSuite executes cfg over the option's workloads and returns the
+// per-workload results.
+func runSuite(cfg cluster.Config, opt Options) (map[string]*cluster.Result, error) {
+	out := make(map[string]*cluster.Result, len(opt.Workloads))
+	for _, name := range opt.Workloads {
+		r, err := cluster.RunOne(cfg, name, opt.Scale, opt.Limit)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// speedup returns base/new cycle ratio.
+func speedup(base, new *cluster.Result) float64 {
+	if new.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(new.Cycles)
+}

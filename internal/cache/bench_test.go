@@ -1,0 +1,33 @@
+package cache
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(L1Config())
+	full := c.Config().FullMask()
+	c.Fill(0x1000, full)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0x1000, full)
+	}
+}
+
+func BenchmarkFillEvictChurn(b *testing.B) {
+	c := New(L1Config())
+	full := c.Config().FullMask()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i)*64, full)
+	}
+}
+
+func BenchmarkMSHRAllocateRelease(b *testing.B) {
+	m := NewMSHR[int](32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i % 16)
+		if m.Allocate(line, 1, i) == Primary {
+			m.Release(line)
+		}
+	}
+}

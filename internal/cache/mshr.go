@@ -1,0 +1,82 @@
+package cache
+
+// MSHR is a miss-status holding register file: it tracks outstanding
+// line misses and merges secondary misses to the same line so only one
+// request goes below. The waiter payload is generic so L1s can park
+// wavefront transactions and TLBs can park translation requests.
+type MSHR[W any] struct {
+	entries map[uint64]*mshrEntry[W]
+	max     int
+}
+
+type mshrEntry[W any] struct {
+	waiters []W
+	mask    SectorMask // union of sectors requested while outstanding
+}
+
+// NewMSHR returns an MSHR file with the given number of entries.
+func NewMSHR[W any](entries int) *MSHR[W] {
+	if entries <= 0 {
+		panic("cache: MSHR needs at least one entry")
+	}
+	return &MSHR[W]{entries: make(map[uint64]*mshrEntry[W]), max: entries}
+}
+
+// Outcome of an MSHR allocation attempt.
+type Outcome int
+
+const (
+	// Primary — first miss on the line; caller must issue the fill.
+	Primary Outcome = iota
+	// Merged — an entry already tracks the line; the waiter was parked.
+	Merged
+	// Stalled — the file is full; caller must retry later.
+	Stalled
+)
+
+// Allocate registers a miss for lineAddr. On Primary and Merged the
+// waiter is recorded for delivery at Release time.
+func (m *MSHR[W]) Allocate(lineAddr uint64, mask SectorMask, waiter W) Outcome {
+	if e, ok := m.entries[lineAddr]; ok {
+		e.waiters = append(e.waiters, waiter)
+		e.mask |= mask
+		return Merged
+	}
+	if len(m.entries) >= m.max {
+		return Stalled
+	}
+	m.entries[lineAddr] = &mshrEntry[W]{waiters: []W{waiter}, mask: mask}
+	return Primary
+}
+
+// Release completes the miss on lineAddr, returning all parked waiters
+// (primary first) and the union of requested sectors.
+func (m *MSHR[W]) Release(lineAddr uint64) (waiters []W, mask SectorMask, ok bool) {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return nil, 0, false
+	}
+	delete(m.entries, lineAddr)
+	return e.waiters, e.mask, true
+}
+
+// Mask returns the union of sectors requested on an outstanding line.
+func (m *MSHR[W]) Mask(lineAddr uint64) (SectorMask, bool) {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return 0, false
+	}
+	return e.mask, true
+}
+
+// Pending reports whether lineAddr has an outstanding entry.
+func (m *MSHR[W]) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Len returns the number of outstanding entries.
+func (m *MSHR[W]) Len() int { return len(m.entries) }
+
+// Full reports whether a new primary miss would stall.
+func (m *MSHR[W]) Full() bool { return len(m.entries) >= m.max }

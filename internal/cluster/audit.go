@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Audit checks cross-component conservation invariants after a run has
+// drained. It returns nil when the system is consistent, or an error
+// describing every violation. Tests call it after each RunWorkload; it
+// is cheap enough to run always.
+func (s *System) Audit() error {
+	var problems []string
+
+	// Every GPU must be fully idle.
+	for _, g := range s.GPUs {
+		if !g.Idle() {
+			problems = append(problems, fmt.Sprintf("%s not idle (waves=%d, pendingReads=%d, outstandingWrites=%d)",
+				g.Name, g.ActiveWaves(), g.RDMA.PendingReads(), g.RDMA.OutstandingWrites()))
+		}
+	}
+
+	// No flits stranded in controllers.
+	for _, ctl := range s.Controllers {
+		if n := ctl.QueuedFlits(); n != 0 {
+			problems = append(problems, fmt.Sprintf("%s holds %d stranded flits", ctl.Name, n))
+		}
+	}
+
+	// Request/serve counts must balance globally: every remote read one
+	// GPU issued was served by another, same for writes and PTEs.
+	var reads, served, writes, servedW, ptes, servedP int64
+	for _, g := range s.GPUs {
+		reads += g.RDMA.Stats.RemoteReads.Value()
+		served += g.RDMA.Stats.ServedReads.Value()
+		writes += g.RDMA.Stats.RemoteWrites.Value()
+		servedW += g.RDMA.Stats.ServedWrites.Value()
+		ptes += g.RDMA.Stats.RemotePTEReads.Value()
+		servedP += g.RDMA.Stats.ServedPTEs.Value()
+	}
+	if reads != served {
+		problems = append(problems, fmt.Sprintf("remote reads issued %d != served %d", reads, served))
+	}
+	if writes != servedW {
+		problems = append(problems, fmt.Sprintf("remote writes issued %d != served %d", writes, servedW))
+	}
+	if ptes != servedP {
+		problems = append(problems, fmt.Sprintf("remote PTE reads issued %d != served %d", ptes, servedP))
+	}
+
+	// The inter-cluster links may never have exceeded their bandwidth:
+	// moved flits <= capacity over the elapsed window.
+	end := s.Engine.Now()
+	for _, l := range s.InterLinks {
+		if u := l.AtoB.Utilization(end); u > 1.0+1e-9 {
+			problems = append(problems, fmt.Sprintf("%s a->b utilization %.3f exceeds 1", l.Name, u))
+		}
+		if u := l.BtoA.Utilization(end); u > 1.0+1e-9 {
+			problems = append(problems, fmt.Sprintf("%s b->a utilization %.3f exceeds 1", l.Name, u))
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("cluster: audit failed:\n  %s", strings.Join(problems, "\n  "))
+}

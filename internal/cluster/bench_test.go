@@ -1,0 +1,24 @@
+package cluster
+
+import (
+	"testing"
+
+	"netcrafter/internal/workload"
+)
+
+func benchRun(b *testing.B, cfg Config, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := RunOne(cfg, name, workload.Small(), 500_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Cycles), "simcycles")
+		}
+	}
+}
+
+func BenchmarkBaselineGUPS(b *testing.B)   { benchRun(b, Baseline(), "GUPS") }
+func BenchmarkNetCrafterGUPS(b *testing.B) { benchRun(b, WithNetCrafter(), "GUPS") }
+func BenchmarkIdealGUPS(b *testing.B)      { benchRun(b, Ideal(), "GUPS") }

@@ -1,0 +1,254 @@
+// Package cluster assembles the full non-uniform bandwidth multi-GPU
+// node of Figure 2: GPUs paired into clusters by higher-bandwidth
+// links, clusters joined by a lower-bandwidth link guarded on each side
+// by a NetCrafter controller, plus the loader (LASP placement + PTE
+// co-location) and the workload runner.
+package cluster
+
+import (
+	"fmt"
+
+	"netcrafter/internal/core"
+	"netcrafter/internal/flit"
+	"netcrafter/internal/gpu"
+	"netcrafter/internal/lasp"
+	"netcrafter/internal/network"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/trace"
+	"netcrafter/internal/vm"
+)
+
+// Config describes one system instance.
+type Config struct {
+	// GPUs in the system and per cluster (baseline: 4 and 2).
+	GPUs           int
+	GPUsPerCluster int
+	// IntraGBps / InterGBps are the per-direction link bandwidths
+	// (Table 2: 128 and 16).
+	IntraGBps int
+	InterGBps int
+	// LinkLatency is the propagation latency of every link.
+	LinkLatency sim.Cycle
+	Switch      network.SwitchConfig
+	GPU         gpu.Config
+	// NetCrafter configures the controllers at the cluster boundary.
+	NetCrafter core.Config
+	// Placement selects the page-placement policy (LASP default).
+	Placement lasp.Policy
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// Baseline returns the paper's Table 2 system with the NetCrafter
+// controller disabled (pure FIFO) — the "non-uniform" baseline.
+func Baseline() Config {
+	return Config{
+		GPUs:           4,
+		GPUsPerCluster: 2,
+		IntraGBps:      128,
+		InterGBps:      16,
+		LinkLatency:    1,
+		Switch:         network.DefaultSwitchConfig(),
+		NetCrafter:     core.Passthrough(),
+		Seed:           1,
+	}
+}
+
+// Ideal returns the unconstrained configuration of Fig 3: every link at
+// the intra-cluster bandwidth.
+func Ideal() Config {
+	c := Baseline()
+	c.InterGBps = c.IntraGBps
+	return c
+}
+
+// WithNetCrafter returns the baseline system with the paper's final
+// NetCrafter design enabled.
+func WithNetCrafter() Config {
+	c := Baseline()
+	c.NetCrafter = core.Baseline()
+	return c
+}
+
+// FlitsPerCycle converts a GB/s link bandwidth to flits per cycle at
+// the 1 GHz clock (minimum 1).
+func FlitsPerCycle(gbps, flitBytes int) int {
+	f := gbps / flitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+func (c Config) validate() Config {
+	if c.GPUs == 0 {
+		c = Baseline()
+	}
+	if c.GPUs%c.GPUsPerCluster != 0 {
+		panic("cluster: GPUs must divide into equal clusters")
+	}
+	if c.GPUs/c.GPUsPerCluster < 2 {
+		panic("cluster: need at least two clusters (the paper's setting)")
+	}
+	if c.GPU.FlitBytes == 0 {
+		c.GPU.FlitBytes = c.NetCrafter.FlitBytes
+	}
+	if c.GPU.FlitBytes == 0 {
+		c.GPU.FlitBytes = flit.DefaultFlitBytes
+	}
+	return c
+}
+
+// gpuFrameSpan is the physical address space each GPU owns.
+const gpuFrameSpan = uint64(1) << 40
+
+// frameAlloc is the global physical frame allocator: GPU g owns
+// [g*span, (g+1)*span).
+type frameAlloc struct {
+	next []uint64
+}
+
+func (f *frameAlloc) AllocFrame(g int) uint64 {
+	addr := uint64(g)*gpuFrameSpan + f.next[g]
+	f.next[g] += vm.PageBytes
+	return addr
+}
+
+// System is one built multi-GPU node ready to run workloads.
+type System struct {
+	Engine *sim.Engine
+	Sched  *sim.Scheduler
+	GPUs   []*gpu.GPU
+	// Controllers holds the per-cluster NetCrafter controllers.
+	Controllers []*core.Controller
+	// InterLinks are the lower-bandwidth links between clusters.
+	InterLinks []*network.Link
+	PT         *vm.PageTable
+	cfg        Config
+	alloc      *frameAlloc
+	rng        *sim.Rand
+}
+
+// topology implements gpu.Topology.
+type topology struct{ gpusPerCluster int }
+
+func (t topology) HomeGPU(paddr uint64) int       { return int(paddr / gpuFrameSpan) }
+func (t topology) DeviceOf(g int) flit.DeviceID   { return flit.DeviceID(g) }
+func (t topology) ClusterOf(g int) flit.ClusterID { return flit.ClusterID(g / t.gpusPerCluster) }
+
+// New builds the system.
+func New(cfg Config) *System {
+	cfg = cfg.validate()
+	s := &System{
+		Engine: sim.NewEngine(),
+		Sched:  sim.NewScheduler(),
+		cfg:    cfg,
+		alloc:  &frameAlloc{next: make([]uint64, cfg.GPUs)},
+		rng:    sim.NewRand(cfg.Seed),
+	}
+	s.Engine.Register("sched", s.Sched)
+	topo := topology{gpusPerCluster: cfg.GPUsPerCluster}
+	s.PT = vm.NewPageTable(s.alloc)
+
+	flitBytes := cfg.GPU.FlitBytes
+	intraRate := FlitsPerCycle(cfg.IntraGBps, flitBytes)
+	interRate := FlitsPerCycle(cfg.InterGBps, flitBytes)
+
+	nClusters := cfg.GPUs / cfg.GPUsPerCluster
+	switches := make([]*network.Switch, nClusters)
+
+	for g := 0; g < cfg.GPUs; g++ {
+		s.GPUs = append(s.GPUs, gpu.New(g, cfg.GPU, topo, s.PT, s.Sched))
+	}
+
+	// Cluster switches with GPU attachments.
+	for c := 0; c < nClusters; c++ {
+		sw := network.NewSwitch(fmt.Sprintf("sw%d", c), cfg.Switch)
+		switches[c] = sw
+		for i := 0; i < cfg.GPUsPerCluster; i++ {
+			g := c*cfg.GPUsPerCluster + i
+			pIdx := sw.AddPort(network.NewPort(fmt.Sprintf("sw%d.gpu%d", c, g), cfg.Switch.BufferEntries))
+			sw.SetPortRate(pIdx, intraRate)
+			link := network.NewLink(fmt.Sprintf("l.gpu%d", g), s.GPUs[g].RDMA.Port, sw.Ports()[pIdx], intraRate, cfg.LinkLatency)
+			sw.SetRoute(topo.DeviceOf(g), pIdx)
+			s.Engine.Register(link.Name, link)
+		}
+	}
+
+	// NetCrafter controllers and the inter-cluster network. The paper's
+	// two-cluster baseline uses one direct link between the two
+	// controllers; with more clusters (the scaling extension) the
+	// controllers hang off a central inter-cluster switch, each uplink
+	// at the lower bandwidth.
+	ncCfg := cfg.NetCrafter
+	ncCfg.FlitBytes = flitBytes
+	ncCfg.EjectRate = interRate
+	for c := 0; c < nClusters; c++ {
+		ctl := core.NewController(fmt.Sprintf("nc%d", c), flit.ClusterID(c), nClusters-1, ncCfg)
+		s.Controllers = append(s.Controllers, ctl)
+		// Attach controller's local side to the cluster switch; route
+		// all other clusters' devices toward it.
+		sw := switches[c]
+		pIdx := sw.AddPort(network.NewPort(fmt.Sprintf("sw%d.nc", c), cfg.Switch.BufferEntries))
+		sw.SetPortRate(pIdx, intraRate)
+		link := network.NewLink(fmt.Sprintf("l.nc%d", c), ctl.Local, sw.Ports()[pIdx], intraRate, cfg.LinkLatency)
+		sw.SetDefaultRoute(pIdx)
+		s.Engine.Register(link.Name, link)
+	}
+	if nClusters == 2 {
+		inter := network.NewLink("l.inter", s.Controllers[0].Remote, s.Controllers[1].Remote, interRate, cfg.LinkLatency)
+		s.InterLinks = append(s.InterLinks, inter)
+		s.Engine.Register(inter.Name, inter)
+	} else {
+		global := network.NewSwitch("swglobal", cfg.Switch)
+		for c := 0; c < nClusters; c++ {
+			pIdx := global.AddPort(network.NewPort(fmt.Sprintf("swglobal.c%d", c), cfg.Switch.BufferEntries))
+			global.SetPortRate(pIdx, interRate)
+			link := network.NewLink(fmt.Sprintf("l.inter%d", c), s.Controllers[c].Remote, global.Ports()[pIdx], interRate, cfg.LinkLatency)
+			for i := 0; i < cfg.GPUsPerCluster; i++ {
+				global.SetRoute(topo.DeviceOf(c*cfg.GPUsPerCluster+i), pIdx)
+			}
+			s.InterLinks = append(s.InterLinks, link)
+			s.Engine.Register(link.Name, link)
+		}
+		s.Engine.Register(global.Name, global)
+	}
+
+	// Register remaining tickers in deterministic order.
+	for c, sw := range switches {
+		s.Engine.Register(fmt.Sprintf("sw%d", c), sw)
+	}
+	for _, ctl := range s.Controllers {
+		s.Engine.Register(ctl.Name, ctl)
+	}
+	for _, g := range s.GPUs {
+		for i, t := range g.Tickers() {
+			s.Engine.Register(fmt.Sprintf("%s.t%d", g.Name, i), t)
+		}
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumClusters returns the cluster count.
+func (s *System) NumClusters() int { return s.cfg.GPUs / s.cfg.GPUsPerCluster }
+
+// AllIdle reports whether every GPU has drained.
+func (s *System) AllIdle() bool {
+	for _, g := range s.GPUs {
+		if !g.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachTrace streams wire-level controller events (ejections,
+// stitches, trims, pooling) to the recorder; pass nil to stop.
+func (s *System) AttachTrace(rec *trace.Recorder) {
+	for _, ctl := range s.Controllers {
+		ctl.Trace = rec
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/network"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+	"netcrafter/internal/trace"
+)
+
+// partClass indexes the cluster-queue partitions within a destination
+// cluster: one per data packet type plus one shared PTW partition, per
+// Fig 13 ("except for PTW-related flits, which are placed in a separate
+// queue").
+type partClass int
+
+const (
+	classReadReq partClass = iota
+	classReadRsp
+	classWriteReq
+	classWriteRsp
+	classPTW
+	// classFIFO is the single queue of the baseline configuration: the
+	// partitioned Cluster Queue is part of NetCrafter (Fig 13), so a
+	// controller with every mechanism disabled degenerates to one FIFO
+	// per destination, where latency-critical flits do get stuck
+	// behind data — the bottleneck Observation 3 starts from.
+	classFIFO
+	numClasses
+)
+
+func classOf(t flit.Type) partClass {
+	switch t {
+	case flit.ReadReq:
+		return classReadReq
+	case flit.ReadRsp:
+		return classReadRsp
+	case flit.WriteReq:
+		return classWriteReq
+	case flit.WriteRsp:
+		return classWriteRsp
+	default:
+		return classPTW
+	}
+}
+
+// partitioned reports whether the Cluster Queue keeps per-type
+// partitions: true whenever any NetCrafter mechanism is active.
+func (c Config) partitioned() bool {
+	// SeqDataEqual is the Fig-8 control experiment on the *baseline*
+	// network: it keeps the FIFO and only reorders within it.
+	return c.EnableStitch || c.EnableTrim || c.PoolingCycles > 0 || c.Sequencing == SeqPTW
+}
+
+type partKey struct {
+	dst   flit.ClusterID
+	class partClass
+}
+
+// partition is one (destination cluster × type) slice of the Cluster
+// Queue, with its Flit Pooling state: a pooled flit is parked in the
+// stitch engine's single-flit buffer (the paper's 16B SRAM) with a
+// deadline, while the flits behind it keep flowing.
+type partition struct {
+	key          partKey
+	q            *sim.Queue[*flit.Flit]
+	pooledFlit   *flit.Flit
+	poolDeadline sim.Cycle
+}
+
+// trimState tracks an in-flight read response being trimmed: original
+// flits are absorbed and the re-segmented (shorter) flit train is
+// released once the flit carrying the needed sector has arrived.
+type trimState struct {
+	pkt        *flit.Packet
+	releaseSeq int // original flit index whose arrival releases the trimmed train
+	origCount  int
+	seen       int
+	released   bool
+}
+
+// Controller is one NetCrafter controller instance guarding one
+// cluster's attachment to the inter-GPU-cluster network. Flits flowing
+// outward (Local.In -> Remote.Out) pass the Trim Engine, Cluster Queue,
+// scheduler and Stitch Engine; flits flowing inward (Remote.In ->
+// Local.Out) are un-stitched and forwarded.
+type Controller struct {
+	Name string
+	cfg  Config
+	// Local faces the cluster switch; Remote faces the inter-cluster
+	// link (and the peer controller on its far side).
+	Local  *network.Port
+	Remote *network.Port
+	// Net accumulates the traffic statistics of flits this controller
+	// ejects onto the inter-cluster network.
+	Net *stats.NetStats
+	// Trace, when non-nil, records wire-level events (ejections,
+	// stitches, trims, pooling) as JSON lines.
+	Trace *trace.Recorder
+
+	home      flit.ClusterID
+	parts     []*partition
+	partIdx   map[partKey]int
+	perDst    map[flit.ClusterID]int // flits queued per destination cluster
+	perDstCap int
+	rr        int
+	trims     map[uint64]*trimState
+	// dataPrioTokens implements SeqDataEqual: one data flit is
+	// prioritized for every PTW flit that entered the queue.
+	dataPrioTokens int
+}
+
+// NewController creates a controller for cluster home. remoteClusters
+// is how many other clusters exist (the cluster queue is partitioned
+// equally among them).
+func NewController(name string, home flit.ClusterID, remoteClusters int, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	if remoteClusters < 1 {
+		remoteClusters = 1
+	}
+	return &Controller{
+		Name:      name,
+		cfg:       cfg,
+		Local:     network.NewPort(name+".local", cfg.CQEntries),
+		Remote:    network.NewPort(name+".remote", cfg.CQEntries),
+		Net:       stats.NewNetStats(),
+		home:      home,
+		partIdx:   make(map[partKey]int),
+		perDst:    make(map[flit.ClusterID]int),
+		perDstCap: cfg.CQEntries / remoteClusters,
+		trims:     make(map[uint64]*trimState),
+	}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Tick implements sim.Ticker.
+func (c *Controller) Tick(now sim.Cycle) bool {
+	busy := c.tickIngress(now)
+	if c.tickIntake(now) {
+		busy = true
+	}
+	if c.tickEgress(now) {
+		busy = true
+	}
+	return busy
+}
+
+// tickIngress un-stitches flits arriving from the inter-cluster link
+// and forwards them toward the cluster switch.
+func (c *Controller) tickIngress(now sim.Cycle) bool {
+	busy := false
+	for {
+		in, ok := c.Remote.In.Peek(now)
+		if !ok {
+			break
+		}
+		// The parent plus every stitched item must fit downstream.
+		if c.Local.Out.Space() < 1+len(in.Stitched) {
+			break
+		}
+		c.Remote.In.Pop(now)
+		if len(in.Stitched) > 0 {
+			c.Trace.Record(trace.FlitEvent(trace.KindUnstitch, c.Name, now, in))
+		}
+		for _, item := range flit.Unstitch(in) {
+			c.Local.Out.Push(item, now)
+		}
+		c.Local.Out.Push(in, now)
+		busy = true
+	}
+	return busy
+}
+
+// tickIntake drains flits from the cluster switch into the Cluster
+// Queue, applying the Trim Engine on the way.
+func (c *Controller) tickIntake(now sim.Cycle) bool {
+	busy := false
+	for {
+		f, ok := c.Local.In.Peek(now)
+		if !ok {
+			break
+		}
+		dst := f.Pkt.DstCluster
+		if c.perDst[dst] >= c.perDstCap {
+			break // back-pressure into the cluster switch
+		}
+		c.Local.In.Pop(now)
+		busy = true
+		if c.cfg.EnableTrim && c.intakeTrim(f, now) {
+			continue
+		}
+		c.enqueue(f, now)
+	}
+	return busy
+}
+
+// intakeTrim handles a flit of a trim-eligible read response. It
+// reports true when the flit was consumed by the trim engine (the
+// caller must not enqueue it).
+func (c *Controller) intakeTrim(f *flit.Flit, now sim.Cycle) bool {
+	p := f.Pkt
+	switch p.Type {
+	case flit.ReadRsp:
+		// The paper's Trim Engine target.
+	case flit.WriteReq:
+		if !c.cfg.TrimWrites {
+			return false
+		}
+	default:
+		return false
+	}
+	if !p.TrimEligible {
+		return false
+	}
+	ts := c.trims[p.ID]
+	if ts == nil {
+		if p.Trimmed {
+			// Already trimmed upstream (e.g. sector-cache mode
+			// pre-trims at the home GPU); nothing to do here.
+			return false
+		}
+		origCount := p.FlitCount(f.Size)
+		g := p.TrimBytes
+		if g == 0 {
+			g = flit.SectorBytes
+		}
+		endByte := p.HeaderBytes() + (int(p.SectorOffset)+1)*g - 1
+		ts = &trimState{
+			pkt:        p,
+			releaseSeq: endByte / f.Size,
+			origCount:  origCount,
+		}
+		c.trims[p.ID] = ts
+	}
+	ts.seen++
+	if !ts.released && f.Seq >= ts.releaseSeq {
+		if p.Type == flit.WriteReq {
+			flit.TrimWriteRequest(p)
+		} else {
+			flit.TrimResponse(p)
+		}
+		trimmed := flit.Segment(p, f.Size)
+		for _, tf := range trimmed {
+			c.enqueue(tf, now)
+		}
+		c.Net.PacketsTrimmed.Inc()
+		c.Net.FlitsTrimmed.Add(int64(ts.origCount - len(trimmed)))
+		c.Trace.Record(trace.Event{Cycle: int64(now), Kind: trace.KindTrim, Where: c.Name,
+			PacketID: p.ID, Type: p.Type.String(), Used: p.RequiredBytes(),
+			Detail: fmt.Sprintf("%d->%d flits", ts.origCount, len(trimmed))})
+		ts.released = true
+	}
+	if ts.seen >= ts.origCount {
+		delete(c.trims, p.ID)
+	}
+	return true
+}
+
+func (c *Controller) enqueue(f *flit.Flit, now sim.Cycle) {
+	class := classFIFO
+	if c.cfg.partitioned() {
+		class = classOf(f.Pkt.Type)
+	}
+	key := partKey{dst: f.Pkt.DstCluster, class: class}
+	idx, ok := c.partIdx[key]
+	if !ok {
+		idx = len(c.parts)
+		c.partIdx[key] = idx
+		c.parts = append(c.parts, &partition{
+			key: key,
+			q:   sim.NewQueue[*flit.Flit](0, 1),
+		})
+	}
+	f.CtlArrivedAt = now
+	c.parts[idx].q.Push(f, now)
+	c.perDst[f.Pkt.DstCluster]++
+	if f.IsPTW() {
+		c.dataPrioTokens++
+	}
+}
+
+// tickEgress runs the scheduler and stitch engine, ejecting up to
+// EjectRate flits onto the inter-cluster link.
+func (c *Controller) tickEgress(now sim.Cycle) bool {
+	busy := false
+	for slot := 0; slot < c.cfg.EjectRate; slot++ {
+		if c.Remote.Out.Full() {
+			break
+		}
+		if !c.ejectOne(now) {
+			break
+		}
+		busy = true
+	}
+	return busy
+}
+
+// ejectOne selects a partition per the sequencing policy, stitches and
+// ejects its head flit. It reports whether a flit was ejected.
+func (c *Controller) ejectOne(now sim.Cycle) bool {
+	if c.cfg.Sequencing == SeqDataEqual && c.dataPrioTokens > 0 {
+		if c.ejectDataFirst(now) {
+			return true
+		}
+	}
+	if p := c.pickPriority(now); p != nil {
+		return c.serve(p, now)
+	}
+	// Round-robin over all partitions. A partition whose head gets
+	// pooled does not consume the slot — "the ejection is delayed
+	// temporarily while subsequent flits in the queue are processed".
+	n := len(c.parts)
+	for k := 0; k < n; k++ {
+		i := (c.rr + k) % n
+		p := c.parts[i]
+		if p.pooledFlit == nil && !p.q.CanPop(now) {
+			continue
+		}
+		if c.serve(p, now) {
+			c.rr = (i + 1) % n
+			return true
+		}
+	}
+	// Nothing else to send this cycle: the wire would go idle, so any
+	// pooled flit goes out now rather than finish its window — pooling
+	// never spends link cycles that would otherwise be free.
+	for _, p := range c.parts {
+		if p.pooledFlit == nil {
+			continue
+		}
+		parent := p.pooledFlit
+		p.pooledFlit = nil
+		c.stitchInto(parent, p, now)
+		c.eject(parent, now)
+		return true
+	}
+	return false
+}
+
+// pickPriority implements the SeqPTW sequencing bias: serve the PTW
+// partitions first whenever they hold a flit.
+func (c *Controller) pickPriority(now sim.Cycle) *partition {
+	if c.cfg.Sequencing != SeqPTW {
+		return nil
+	}
+	for _, p := range c.parts {
+		if p.key.class == classPTW && (p.pooledFlit != nil || p.q.CanPop(now)) {
+			return p
+		}
+	}
+	return nil
+}
+
+// ejectDataFirst implements the Fig-8 control: on the baseline FIFO, a
+// data flit overtakes any PTW flits queued ahead of it (one overtake
+// per PTW flit observed). It reports whether a flit was ejected.
+func (c *Controller) ejectDataFirst(now sim.Cycle) bool {
+	for _, p := range c.parts {
+		for i := 0; i < p.q.Len() && i < c.cfg.StitchSearchWindow; i++ {
+			if p.q.ReadyAt(i) > now {
+				break
+			}
+			f, _ := p.q.Get(i)
+			if f.IsPTW() {
+				continue // step over queued PTW flits
+			}
+			if i == 0 {
+				return false // head is already data: FIFO order suffices
+			}
+			p.q.RemoveAt(i)
+			c.dataPrioTokens--
+			c.eject(f, now)
+			return true
+		}
+	}
+	return false
+}
+
+// serve runs the stitch engine for partition p: first the pooled flit
+// (eject when a candidate arrived or the window expired), then the
+// queue head (eject stitched/full, or park it in the pool slot). It
+// reports whether a flit was ejected.
+func (c *Controller) serve(p *partition, now sim.Cycle) bool {
+	if p.pooledFlit != nil {
+		parent := p.pooledFlit
+		stitched := c.stitchInto(parent, p, now)
+		if stitched > 0 || now >= p.poolDeadline {
+			p.pooledFlit = nil
+			c.eject(parent, now)
+			return true
+		}
+		// Still waiting; fall through to serve the flits behind it.
+	}
+	parent, ok := p.q.Peek(now)
+	if !ok {
+		return false
+	}
+	if c.cfg.EnableStitch && parent.EmptyBytes() >= smallestCandidateBytes {
+		// The head must be popped before the candidate search so it
+		// cannot select itself.
+		p.q.Pop(now)
+		if c.stitchInto(parent, p, now) == 0 && c.canPool(p, now) {
+			p.pooledFlit = parent
+			p.poolDeadline = now + c.cfg.PoolingCycles
+			c.Net.PooledFlits.Inc()
+			c.Trace.Record(trace.FlitEvent(trace.KindPool, c.Name, now, parent))
+			return false
+		}
+		c.eject(parent, now)
+		return true
+	}
+	p.q.Pop(now)
+	c.eject(parent, now)
+	return true
+}
+
+func (c *Controller) eject(parent *flit.Flit, now sim.Cycle) {
+	c.perDst[parent.Pkt.DstCluster]--
+	c.Net.CtlLatency.Observe(float64(now - parent.CtlArrivedAt))
+	c.recordEjection(parent, now)
+	if !c.Remote.Out.Push(parent, now) {
+		panic("core: remote out overflow after Full check")
+	}
+}
+
+// canPool decides whether the head flit may wait one pooling window in
+// the stitch buffer for a candidate. Pooling is work-conserving: a flit
+// is only set aside when the scheduler has other flits to eject in the
+// meantime — delaying traffic on an otherwise idle link cannot save
+// bandwidth and only adds latency ("the ejection is delayed temporarily
+// while subsequent flits in the queue are processed").
+func (c *Controller) canPool(p *partition, now sim.Cycle) bool {
+	if c.cfg.PoolingCycles <= 0 || p.pooledFlit != nil {
+		return false
+	}
+	if p.key.class == classPTW && c.cfg.SelectivePooling {
+		return false // PTW flits are latency-critical: never pooled
+	}
+	return c.hasOtherWork(p, now)
+}
+
+// hasOtherWork reports whether any flit besides partition p's popped
+// head could be ejected now or soon.
+func (c *Controller) hasOtherWork(p *partition, now sim.Cycle) bool {
+	for _, q := range c.parts {
+		if q != p && q.pooledFlit != nil {
+			return true
+		}
+		if q.q.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// smallestCandidateBytes is the wire size of the smallest stitchable
+// item (a whole WriteRsp packet, 4 bytes); parents with less free space
+// cannot stitch anything.
+const smallestCandidateBytes = 4
+
+// stitchInto greedily stitches candidates from the cluster queue into
+// parent (which the caller has already removed from any queue). It
+// returns the number of items stitched.
+func (c *Controller) stitchInto(parent *flit.Flit, own *partition, now sim.Cycle) int {
+	count := 0
+	if parent.EmptyBytes() < smallestCandidateBytes {
+		return 0
+	}
+	for _, p := range c.parts {
+		if p.key.dst != parent.Pkt.DstCluster {
+			continue
+		}
+		if c.cfg.StitchScope == ScopeSamePartition && p != own {
+			continue
+		}
+		// A flit pooled by another partition is the most willing
+		// candidate of all: it is explicitly waiting to share a slot.
+		if p.pooledFlit != nil && p.pooledFlit != parent && flit.CanStitch(parent, p.pooledFlit) {
+			flit.Stitch(parent, p.pooledFlit)
+			c.perDst[p.pooledFlit.Pkt.DstCluster]--
+			p.pooledFlit = nil
+			count++
+			if parent.EmptyBytes() < smallestCandidateBytes {
+				return count
+			}
+		}
+		i := 0
+		for i < p.q.Len() && i < c.cfg.StitchSearchWindow {
+			if p.q.ReadyAt(i) > now {
+				break
+			}
+			cand, _ := p.q.Get(i)
+			if flit.CanStitch(parent, cand) {
+				flit.Stitch(parent, cand)
+				p.q.RemoveAt(i)
+				c.perDst[cand.Pkt.DstCluster]--
+				count++
+				c.Trace.Record(trace.FlitEvent(trace.KindStitch, c.Name, now, parent))
+				if parent.EmptyBytes() < smallestCandidateBytes {
+					return count
+				}
+				continue // same index now holds the next entry
+			}
+			i++
+		}
+	}
+	return count
+}
+
+// recordEjection updates traffic statistics for an ejected flit.
+func (c *Controller) recordEjection(f *flit.Flit, now sim.Cycle) {
+	c.Net.FlitsTotal.Inc()
+	c.Net.WireBytes.Add(int64(f.Size))
+	c.Net.Occupancy.Observe(flit.Occupancy(f).String(), 1)
+	if f.IsStitched() {
+		c.Net.FlitsStitched.Inc()
+		c.Net.ItemsStitched.Add(int64(len(f.Stitched)))
+	}
+	if c.Trace != nil {
+		c.Trace.Record(trace.FlitEvent(trace.KindEject, c.Name, now, f))
+	}
+	c.countType(f.Pkt.Type, f.Used)
+	for _, it := range f.Stitched {
+		c.countType(it.Pkt.Type, it.WireBytes())
+	}
+}
+
+func (c *Controller) countType(t flit.Type, bytes int) {
+	c.Net.FlitsByType.Observe(t.String(), 1)
+	c.Net.BytesByType.Observe(t.String(), int64(bytes))
+	if t.IsPTW() {
+		c.Net.PTWFlits.Inc()
+	} else {
+		c.Net.DataFlits.Inc()
+	}
+}
+
+// QueuedFlits returns the number of flits currently in the cluster
+// queue or parked in a pool slot (all partitions).
+func (c *Controller) QueuedFlits() int {
+	n := 0
+	for _, p := range c.parts {
+		n += p.q.Len()
+		if p.pooledFlit != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// NextWake implements sim.WakeHinter.
+func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
+	wake := sim.CycleMax
+	min := func(x sim.Cycle) {
+		if x < wake {
+			wake = x
+		}
+	}
+	min(c.Local.In.NextReady())
+	min(c.Remote.In.NextReady())
+	for _, p := range c.parts {
+		if p.pooledFlit != nil {
+			min(p.poolDeadline)
+		}
+		if p.q.Len() > 0 {
+			min(p.q.NextReady())
+		}
+	}
+	return wake
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("NetCrafter[%s cluster=%d stitch=%v trim=%v seq=%v pool=%d]",
+		c.Name, c.home, c.cfg.EnableStitch, c.cfg.EnableTrim, c.cfg.Sequencing, c.cfg.PoolingCycles)
+}

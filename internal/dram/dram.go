@@ -1,0 +1,131 @@
+// Package dram models the per-GPU HBM/GDDR memory: a fixed access
+// latency plus a bandwidth-limited service stage (Table 2: 1 TB/s,
+// 100 ns). At the 1 GHz system clock 1 TB/s is 1024 bytes/cycle and
+// 100 ns is 100 cycles.
+package dram
+
+import (
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// Config describes one memory stack.
+type Config struct {
+	BytesPerCycle int
+	Latency       sim.Cycle
+	QueueDepth    int // pending request limit (0 = unbounded)
+}
+
+// DefaultConfig returns the paper's HBM parameters.
+func DefaultConfig() Config {
+	return Config{BytesPerCycle: 1024, Latency: 100, QueueDepth: 0}
+}
+
+// Request is one memory transaction. Done is invoked exactly once when
+// the data has been transferred (reads) or accepted (writes).
+type Request struct {
+	Addr  uint64
+	Bytes int
+	Write bool
+	Done  func(now sim.Cycle)
+}
+
+// DRAM services requests FIFO at the configured bandwidth, completing
+// each Latency cycles after its data slot finishes.
+type DRAM struct {
+	Name string
+	cfg  Config
+	q    *sim.Queue[*Request]
+	// busFreeAt is the first byte-slot at which the data bus is free,
+	// measured in bytes of bus time (cycle N spans byte-slots
+	// [N*BytesPerCycle, (N+1)*BytesPerCycle)). Byte granularity lets a
+	// wide bus serve several small requests in one cycle.
+	busFreeAt int64
+	sched     *sim.Scheduler
+
+	Reads     stats.Counter
+	Writes    stats.Counter
+	BytesRead stats.Counter
+	BytesWrit stats.Counter
+}
+
+// New creates a DRAM stack that schedules completions on sched.
+func New(name string, cfg Config, sched *sim.Scheduler) *DRAM {
+	if cfg.BytesPerCycle <= 0 {
+		panic("dram: BytesPerCycle must be positive")
+	}
+	if cfg.Latency < 1 {
+		cfg.Latency = 1
+	}
+	return &DRAM{
+		Name:  name,
+		cfg:   cfg,
+		q:     sim.NewQueue[*Request](cfg.QueueDepth, 1),
+		sched: sched,
+	}
+}
+
+// Access enqueues a request. It reports false when the queue is full
+// (caller retries).
+func (d *DRAM) Access(r *Request, now sim.Cycle) bool {
+	if r.Bytes <= 0 {
+		panic("dram: request with no bytes")
+	}
+	return d.q.Push(r, now)
+}
+
+// Tick implements sim.Ticker: admit queued requests to the data bus.
+func (d *DRAM) Tick(now sim.Cycle) bool {
+	busy := false
+	bpc := int64(d.cfg.BytesPerCycle)
+	for {
+		r, ok := d.q.Peek(now)
+		if !ok {
+			break
+		}
+		start := int64(now) * bpc
+		if d.busFreeAt > start {
+			start = d.busFreeAt
+		}
+		// Admit only transfers that begin within this cycle; later
+		// ones wait (bandwidth saturation).
+		if start >= (int64(now)+1)*bpc {
+			break
+		}
+		d.q.Pop(now)
+		end := start + int64(r.Bytes)
+		d.busFreeAt = end
+		if r.Write {
+			d.Writes.Inc()
+			d.BytesWrit.Add(int64(r.Bytes))
+		} else {
+			d.Reads.Inc()
+			d.BytesRead.Add(int64(r.Bytes))
+		}
+		endCycle := sim.Cycle((end + bpc - 1) / bpc)
+		done := r.Done
+		d.sched.At(endCycle+d.cfg.Latency-1, func(at sim.Cycle) {
+			if done != nil {
+				done(at)
+			}
+		})
+		busy = true
+	}
+	return busy
+}
+
+// NextWake implements sim.WakeHinter.
+func (d *DRAM) NextWake(now sim.Cycle) sim.Cycle {
+	next := d.q.NextReady()
+	if next == sim.CycleMax {
+		return next
+	}
+	// A queued request cannot be admitted before the bus frees.
+	if busFreeCycle := sim.Cycle(d.busFreeAt / int64(d.cfg.BytesPerCycle)); busFreeCycle > next {
+		return busFreeCycle
+	}
+	return next
+}
+
+// Pending returns the number of queued (not yet admitted) requests.
+func (d *DRAM) Pending() int { return d.q.Len() }

@@ -1,0 +1,128 @@
+package dram
+
+import (
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+func setup(cfg Config) (*sim.Engine, *sim.Scheduler, *DRAM) {
+	e := sim.NewEngine()
+	sched := sim.NewScheduler()
+	d := New("hbm", cfg, sched)
+	e.Register("dram", d)
+	e.Register("sched", sched)
+	return e, sched, d
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	e, _, d := setup(DefaultConfig())
+	var doneAt sim.Cycle = -1
+	d.Access(&Request{Addr: 0, Bytes: 64, Done: func(now sim.Cycle) { doneAt = now }}, 0)
+	_, err := e.RunUntil(func() bool { return doneAt >= 0 }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue delay 1 + >=1 cycle transfer + 100 latency ~= 101-102.
+	if doneAt < 100 || doneAt > 110 {
+		t.Fatalf("read completed at cycle %d, want ~101", doneAt)
+	}
+	if d.Reads.Value() != 1 || d.BytesRead.Value() != 64 {
+		t.Fatal("read stats wrong")
+	}
+}
+
+func TestBandwidthThrottling(t *testing.T) {
+	// 64 B/cycle bus: 100 requests x 64B = 100 cycles of bus time.
+	cfg := Config{BytesPerCycle: 64, Latency: 10}
+	e, _, d := setup(cfg)
+	done := 0
+	var last sim.Cycle
+	for i := 0; i < 100; i++ {
+		d.Access(&Request{Addr: uint64(i * 64), Bytes: 64, Done: func(now sim.Cycle) {
+			done++
+			last = now
+		}}, 0)
+	}
+	if _, err := e.RunUntil(func() bool { return done == 100 }, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if last < 100 {
+		t.Fatalf("100x64B finished at %d on a 64B/cycle bus; bandwidth not enforced", last)
+	}
+	if last > 200 {
+		t.Fatalf("finished at %d; far slower than bus allows", last)
+	}
+}
+
+func TestWideBusParallelism(t *testing.T) {
+	run := func(bpc int) sim.Cycle {
+		e, _, d := setup(Config{BytesPerCycle: bpc, Latency: 10})
+		done := 0
+		for i := 0; i < 64; i++ {
+			d.Access(&Request{Addr: uint64(i * 64), Bytes: 64, Done: func(sim.Cycle) { done++ }}, 0)
+		}
+		end, err := e.RunUntil(func() bool { return done == 64 }, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if narrow, wide := run(64), run(1024); wide >= narrow {
+		t.Fatalf("1024B/cy (%d) not faster than 64B/cy (%d)", wide, narrow)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	e, _, d := setup(DefaultConfig())
+	done := false
+	d.Access(&Request{Addr: 0, Bytes: 64, Write: true, Done: func(sim.Cycle) { done = true }}, 0)
+	if _, err := e.RunUntil(func() bool { return done }, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Writes.Value() != 1 || d.BytesWrit.Value() != 64 || d.Reads.Value() != 0 {
+		t.Fatal("write stats wrong")
+	}
+}
+
+func TestQueueDepthBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 2
+	_, _, d := setup(cfg)
+	if !d.Access(&Request{Bytes: 64}, 0) || !d.Access(&Request{Bytes: 64}, 0) {
+		t.Fatal("queue rejected within depth")
+	}
+	if d.Access(&Request{Bytes: 64}, 0) {
+		t.Fatal("queue accepted beyond depth")
+	}
+	if d.Pending() != 2 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+}
+
+func TestZeroByteRequestPanics(t *testing.T) {
+	_, _, d := setup(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-byte request did not panic")
+		}
+	}()
+	d.Access(&Request{Bytes: 0}, 0)
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := sim.NewScheduler()
+	var order []int
+	s.At(5, func(sim.Cycle) { order = append(order, 1) })
+	s.At(5, func(sim.Cycle) { order = append(order, 2) })
+	s.At(3, func(sim.Cycle) { order = append(order, 0) })
+	e := sim.NewEngine()
+	e.Register("s", s)
+	e.Run(10)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("scheduler order = %v", order)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("events left pending")
+	}
+}

@@ -1,0 +1,29 @@
+package flit
+
+import "testing"
+
+func BenchmarkSegmentReadRsp(b *testing.B) {
+	p := &Packet{Type: ReadRsp}
+	for i := 0; i < b.N; i++ {
+		Segment(p, 16)
+	}
+}
+
+func BenchmarkStitchUnstitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parent := Segment(&Packet{ID: 1, Type: ReadRsp}, 16)[4]
+		cand := Segment(&Packet{ID: 2, Type: WriteRsp}, 16)[0]
+		Stitch(parent, cand)
+		Unstitch(parent)
+	}
+}
+
+func BenchmarkReassemble(b *testing.B) {
+	r := NewReassembler()
+	for i := 0; i < b.N; i++ {
+		p := &Packet{ID: uint64(i), Type: ReadRsp}
+		for _, f := range Segment(p, 16) {
+			r.AddFlit(f)
+		}
+	}
+}

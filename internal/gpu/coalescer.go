@@ -1,0 +1,114 @@
+package gpu
+
+import (
+	"sort"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/workload"
+)
+
+// This file implements the hardware coalescer of Section 2.1: the 64
+// per-thread addresses of one wavefront memory instruction are merged
+// into per-cache-line accesses, each annotated with the number of bytes
+// the wavefront needs from that line. The workload generators usually
+// emit pre-coalesced accesses directly (they know their pattern), but
+// trace-driven programs built from raw per-thread addresses go through
+// this path; the Bytes field it computes is what feeds trim eligibility
+// and the Fig-7 characterization.
+
+// ThreadAccess is one lane's request.
+type ThreadAccess struct {
+	Addr  uint64
+	Bytes int
+	Write bool
+}
+
+// WavefrontSize is the number of lanes per wavefront (AMD wavefront 64).
+const WavefrontSize = 64
+
+type coalesceKey struct {
+	line  uint64
+	write bool
+}
+
+type byteSpan struct{ lo, hi uint64 } // byte range within a line
+
+// Coalesce merges lane accesses into line accesses. Reads and writes
+// coalesce separately (mixed kinds to one line yield two accesses, as
+// two memory instructions would). Bytes is the size of the union of
+// touched ranges within the line, so overlapping lanes are not
+// double-counted; lane accesses crossing a line boundary are split.
+func Coalesce(lanes []ThreadAccess) []workload.LineAccess {
+	groups := make(map[coalesceKey][]byteSpan)
+	var order []coalesceKey
+	add := func(k coalesceKey, s byteSpan) {
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	for _, la := range lanes {
+		if la.Bytes <= 0 {
+			continue
+		}
+		line := la.Addr / flit.LineBytes
+		lo := la.Addr % flit.LineBytes
+		hi := lo + uint64(la.Bytes)
+		for hi > flit.LineBytes {
+			add(coalesceKey{line, la.Write}, byteSpan{lo, flit.LineBytes})
+			line++
+			lo = 0
+			hi -= flit.LineBytes
+		}
+		add(coalesceKey{line, la.Write}, byteSpan{lo, hi})
+	}
+
+	out := make([]workload.LineAccess, 0, len(order))
+	for _, k := range order {
+		spans := groups[k]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		// The access is reported as the contiguous extent from the
+		// first to the last touched byte. For lanes scattered within
+		// one line this overstates the union slightly, but it keeps
+		// the (VAddr, Bytes) pair an honest description of which
+		// sectors are needed — what trim eligibility and the sectored
+		// L1 actually consume.
+		first, last := spans[0].lo, spans[0].hi
+		for _, s := range spans[1:] {
+			if s.hi > last {
+				last = s.hi
+			}
+		}
+		out = append(out, workload.LineAccess{
+			VAddr: k.line*flit.LineBytes + first,
+			Bytes: int(last - first),
+			Write: k.write,
+		})
+	}
+	return out
+}
+
+// TraceProgram replays raw per-thread access traces through the
+// coalescer — the bridge for users who have real wavefront traces
+// rather than the synthetic generators.
+type TraceProgram struct {
+	// Instrs is the per-instruction lane trace; Compute is the delay
+	// applied after each instruction.
+	Instrs  [][]ThreadAccess
+	Compute int
+	pos     int
+}
+
+// Next implements workload.Program.
+func (p *TraceProgram) Next() (workload.Instr, bool) {
+	for p.pos < len(p.Instrs) {
+		lanes := p.Instrs[p.pos]
+		p.pos++
+		accs := Coalesce(lanes)
+		if len(accs) == 0 {
+			continue
+		}
+		return workload.Instr{Accesses: accs, ComputeCycles: p.Compute}, true
+	}
+	return workload.Instr{}, false
+}

@@ -1,0 +1,156 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netcrafter/internal/workload"
+)
+
+func TestCoalesceAdjacentLanesToOneLine(t *testing.T) {
+	// 16 lanes reading consecutive 4B words of one line.
+	var lanes []ThreadAccess
+	for i := 0; i < 16; i++ {
+		lanes = append(lanes, ThreadAccess{Addr: 0x1000 + uint64(i*4), Bytes: 4})
+	}
+	out := Coalesce(lanes)
+	if len(out) != 1 {
+		t.Fatalf("coalesced to %d accesses, want 1", len(out))
+	}
+	if out[0].VAddr != 0x1000 || out[0].Bytes != 64 || out[0].Write {
+		t.Fatalf("access = %+v", out[0])
+	}
+}
+
+func TestCoalesceStridedLanesToManyLines(t *testing.T) {
+	// 8 lanes reading 4B at a 256B stride: 8 distinct lines, 4B each.
+	var lanes []ThreadAccess
+	for i := 0; i < 8; i++ {
+		lanes = append(lanes, ThreadAccess{Addr: uint64(i * 256), Bytes: 4})
+	}
+	out := Coalesce(lanes)
+	if len(out) != 8 {
+		t.Fatalf("coalesced to %d accesses, want 8", len(out))
+	}
+	for _, a := range out {
+		if a.Bytes != 4 {
+			t.Fatalf("strided access needs %d bytes, want 4", a.Bytes)
+		}
+	}
+}
+
+func TestCoalesceSeparatesReadsAndWrites(t *testing.T) {
+	lanes := []ThreadAccess{
+		{Addr: 0, Bytes: 8},
+		{Addr: 8, Bytes: 8, Write: true},
+	}
+	out := Coalesce(lanes)
+	if len(out) != 2 {
+		t.Fatalf("got %d accesses, want 2 (read + write)", len(out))
+	}
+	if out[0].Write == out[1].Write {
+		t.Fatal("read and write merged")
+	}
+}
+
+func TestCoalesceOverlappingLanes(t *testing.T) {
+	// Two lanes reading the same 8 bytes must count them once.
+	lanes := []ThreadAccess{{Addr: 32, Bytes: 8}, {Addr: 32, Bytes: 8}}
+	out := Coalesce(lanes)
+	if len(out) != 1 || out[0].Bytes != 8 {
+		t.Fatalf("overlap double-counted: %+v", out)
+	}
+}
+
+func TestCoalesceSplitsCrossLineLane(t *testing.T) {
+	lanes := []ThreadAccess{{Addr: 56, Bytes: 16}} // crosses the 64B boundary
+	out := Coalesce(lanes)
+	if len(out) != 2 {
+		t.Fatalf("cross-line lane produced %d accesses, want 2", len(out))
+	}
+	if out[0].VAddr != 56 || out[0].Bytes != 8 {
+		t.Fatalf("first half = %+v", out[0])
+	}
+	if out[1].VAddr != 64 || out[1].Bytes != 8 {
+		t.Fatalf("second half = %+v", out[1])
+	}
+}
+
+func TestCoalesceIgnoresEmptyLanes(t *testing.T) {
+	out := Coalesce([]ThreadAccess{{Addr: 0, Bytes: 0}, {Addr: 4, Bytes: 4}})
+	if len(out) != 1 || out[0].VAddr != 4 {
+		t.Fatalf("empty lane not ignored: %+v", out)
+	}
+	if len(Coalesce(nil)) != 0 {
+		t.Fatal("nil lanes produced accesses")
+	}
+}
+
+// Property: coalesced accesses never cross a line, cover every touched
+// byte, and never exceed the line size.
+func TestCoalesceInvariantsProperty(t *testing.T) {
+	f := func(raw []uint16, write []bool) bool {
+		var lanes []ThreadAccess
+		for i, r := range raw {
+			w := i < len(write) && write[i]
+			lanes = append(lanes, ThreadAccess{
+				Addr:  uint64(r) % 4096,
+				Bytes: 1 + int(r%16),
+				Write: w,
+			})
+		}
+		for _, a := range Coalesce(lanes) {
+			if a.Bytes <= 0 || a.Bytes > workload.LineBytes {
+				return false
+			}
+			if a.VAddr%workload.LineBytes+uint64(a.Bytes) > workload.LineBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceProgram(t *testing.T) {
+	p := &TraceProgram{
+		Instrs: [][]ThreadAccess{
+			{{Addr: 0, Bytes: 4}, {Addr: 4, Bytes: 4}},
+			{}, // empty instruction skipped
+			{{Addr: 4096, Bytes: 8, Write: true}},
+		},
+		Compute: 7,
+	}
+	in1, ok := p.Next()
+	if !ok || len(in1.Accesses) != 1 || in1.ComputeCycles != 7 {
+		t.Fatalf("first instr = %+v, %v", in1, ok)
+	}
+	in2, ok := p.Next()
+	if !ok || !in2.Accesses[0].Write {
+		t.Fatalf("second instr = %+v", in2)
+	}
+	if _, ok := p.Next(); ok {
+		t.Fatal("trace program did not terminate")
+	}
+}
+
+// TestTraceProgramRunsOnGPU drives a coalesced trace through a real GPU.
+func TestTraceProgramRunsOnGPU(t *testing.T) {
+	e, g, pt := soloGPU(t, Config{})
+	base := uint64(1) << 32
+	mapRange(pt, base, 2)
+	var lanes []ThreadAccess
+	for i := 0; i < WavefrontSize; i++ {
+		lanes = append(lanes, ThreadAccess{Addr: base + uint64(i*4), Bytes: 4})
+	}
+	g.EnqueueWave(&TraceProgram{Instrs: [][]ThreadAccess{lanes}, Compute: 1}, 0)
+	if _, err := e.RunUntil(g.Idle, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// 64 lanes x 4B = 256B = 4 full lines.
+	if got := g.L1Accesses(); got != 4 {
+		t.Fatalf("L1 accesses = %d, want 4 coalesced lines", got)
+	}
+}

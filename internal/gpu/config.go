@@ -1,0 +1,127 @@
+// Package gpu models one GPU of the multi-GPU system at memory-access
+// granularity: compute units executing wavefront access streams through
+// per-CU L1 caches and TLBs, the shared L2 TLB and GMMU, the banked L2
+// cache and DRAM partition, and the RDMA engine that turns remote
+// misses into network packets.
+//
+// Substitution note (see DESIGN.md): CUs do not execute an ISA; each
+// wavefront replays a coalesced memory-access trace from package
+// workload with modeled compute delays between instructions. Every
+// mechanism the paper evaluates acts on the memory/network traffic this
+// produces.
+package gpu
+
+import (
+	"netcrafter/internal/cache"
+	"netcrafter/internal/dram"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/vm"
+)
+
+// FetchMode selects the L1 miss-fetch granularity policy.
+type FetchMode int
+
+const (
+	// FetchFullLine — the paper's baseline and NetCrafter: L1 misses
+	// request full 64B lines; trim bits are attached so the NetCrafter
+	// controller may trim inter-cluster responses.
+	FetchFullLine FetchMode = iota
+	// FetchSector — the sector-cache comparison baseline (Figs 14,
+	// 16, 17): misses needing at most one sector fetch just that
+	// sector everywhere, regardless of which network they traverse.
+	FetchSector
+)
+
+func (m FetchMode) String() string {
+	if m == FetchSector {
+		return "sector"
+	}
+	return "full-line"
+}
+
+// Config describes one GPU. Zero fields take paper defaults via
+// WithDefaults.
+type Config struct {
+	// NumCUs is the compute unit count. The paper simulates 64; the
+	// default here is smaller so the full evaluation fits unit-test
+	// budgets — results are normalized so the shape is preserved.
+	NumCUs int
+	// WavefrontSlots is the number of wavefronts a CU keeps in flight
+	// (the source of memory-level parallelism).
+	WavefrontSlots int
+	// CoalescerWidth caps line accesses issued in parallel per
+	// instruction.
+	CoalescerWidth int
+
+	L1        cache.Config
+	L1Latency sim.Cycle
+
+	L2Banks   int
+	L2Bank    cache.Config
+	L2Latency sim.Cycle
+
+	DRAM dram.Config
+
+	L1TLB vm.TLBConfig
+	L2TLB vm.TLBConfig
+	GMMU  vm.GMMUConfig
+
+	// FlitBytes is the network flit size used by the RDMA engine.
+	FlitBytes int
+	// FetchMode selects full-line vs sector fetching.
+	FetchMode FetchMode
+	// TrimBytes is the trim/sector granularity (16 default; 4 and 8 in
+	// the Fig-17 sweep).
+	TrimBytes int
+}
+
+// WithDefaults fills unset fields with the Table 2 configuration
+// (scaled CU count).
+func (c Config) WithDefaults() Config {
+	if c.NumCUs == 0 {
+		c.NumCUs = 8
+	}
+	if c.WavefrontSlots == 0 {
+		c.WavefrontSlots = 8
+	}
+	if c.CoalescerWidth == 0 {
+		c.CoalescerWidth = 16
+	}
+	if c.L1.SizeBytes == 0 {
+		c.L1 = cache.L1Config()
+	}
+	if c.L1Latency == 0 {
+		c.L1Latency = 20
+	}
+	if c.L2Banks == 0 {
+		c.L2Banks = 16
+	}
+	if c.L2Bank.SizeBytes == 0 {
+		c.L2Bank = cache.L2BankConfig()
+	}
+	if c.L2Latency == 0 {
+		c.L2Latency = 100
+	}
+	if c.DRAM.BytesPerCycle == 0 {
+		c.DRAM = dram.DefaultConfig()
+	}
+	if c.L1TLB.Entries == 0 {
+		c.L1TLB = vm.L1TLBConfig()
+	}
+	if c.L2TLB.Entries == 0 {
+		c.L2TLB = vm.L2TLBConfig()
+	}
+	if c.GMMU.Walkers == 0 {
+		c.GMMU = vm.DefaultGMMUConfig()
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 16
+	}
+	if c.TrimBytes == 0 {
+		c.TrimBytes = 16
+	}
+	// Keep the L1 sector granularity in sync with the trim size so
+	// trimmed fills land on sector boundaries.
+	c.L1.SectorBytes = c.TrimBytes
+	return c
+}

@@ -1,0 +1,251 @@
+package gpu
+
+import (
+	"fmt"
+
+	"netcrafter/internal/cache"
+	"netcrafter/internal/flit"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+	"netcrafter/internal/vm"
+	"netcrafter/internal/workload"
+)
+
+// CUStats counts one compute unit's activity.
+type CUStats struct {
+	Instructions stats.Counter
+	LineAccesses stats.Counter
+	Reads        stats.Counter
+	WritesPosted stats.Counter
+	Retries      stats.Counter
+}
+
+// CU is one compute unit: a pool of wavefront slots executing access
+// streams through a private L1 cache and L1 TLB. Execution is fully
+// callback-driven off the shared scheduler; the CU is not a Ticker.
+type CU struct {
+	Name  string
+	id    int
+	gpu   *GPU
+	cfg   Config
+	sched *sim.Scheduler
+
+	L1    *cache.Cache
+	L1TLB *vm.TLB
+	mshr  *cache.MSHR[*pendingRead]
+
+	active int
+	Stats  CUStats
+}
+
+// wavefront is one in-flight wavefront's execution state.
+type wavefront struct {
+	prog        workload.Program
+	outstanding int
+	cu          *CU
+}
+
+// pendingRead parks a read on an L1 MSHR entry.
+type pendingRead struct {
+	wf     *wavefront
+	paddr  uint64
+	bytes  int
+	needed cache.SectorMask
+	done   func(sim.Cycle)
+}
+
+func newCU(name string, id int, g *GPU) *CU {
+	return &CU{
+		Name:  name,
+		id:    id,
+		gpu:   g,
+		cfg:   g.cfg,
+		sched: g.sched,
+		L1:    cache.New(g.cfg.L1),
+		L1TLB: vm.NewTLB(name+".l1tlb", g.cfg.L1TLB, g.L2TLB, g.sched),
+		mshr:  cache.NewMSHR[*pendingRead](g.cfg.L1.MSHRs),
+	}
+}
+
+// freeSlots reports how many wavefronts the CU can still accept.
+func (cu *CU) freeSlots() int { return cu.cfg.WavefrontSlots - cu.active }
+
+// start begins executing a wavefront program.
+func (cu *CU) start(prog workload.Program, now sim.Cycle) {
+	cu.active++
+	wf := &wavefront{prog: prog, cu: cu}
+	cu.sched.After(now, 1, func(at sim.Cycle) { cu.step(wf, at) })
+}
+
+// step fetches and issues the wavefront's next instruction.
+func (cu *CU) step(wf *wavefront, now sim.Cycle) {
+	in, ok := wf.prog.Next()
+	if !ok {
+		cu.active--
+		cu.gpu.waveDone(now)
+		return
+	}
+	cu.Stats.Instructions.Inc()
+	if len(in.Accesses) == 0 {
+		cu.sched.After(now, sim.Cycle(in.ComputeCycles)+1, func(at sim.Cycle) { cu.step(wf, at) })
+		return
+	}
+	wf.outstanding = len(in.Accesses)
+	compute := sim.Cycle(in.ComputeCycles)
+	done := func(at sim.Cycle) {
+		wf.outstanding--
+		if wf.outstanding == 0 {
+			cu.sched.After(at, compute+1, func(at2 sim.Cycle) { cu.step(wf, at2) })
+		}
+	}
+	// The coalescer issues up to CoalescerWidth line requests per
+	// cycle; wider instructions spread over successive cycles.
+	for i, a := range in.Accesses {
+		a := a
+		delay := sim.Cycle(i/cu.cfg.CoalescerWidth) + 1
+		cu.sched.After(now, delay, func(at sim.Cycle) { cu.issue(wf, a, at, done) })
+	}
+}
+
+// issue translates one access and routes it to the load or store path.
+func (cu *CU) issue(wf *wavefront, a workload.LineAccess, now sim.Cycle, done func(sim.Cycle)) {
+	cu.Stats.LineAccesses.Inc()
+	vpn := vm.VPN(a.VAddr)
+	ok := cu.L1TLB.Translate(vpn, now, func(base uint64, at sim.Cycle) {
+		paddr := base + (a.VAddr & (vm.PageBytes - 1))
+		if a.Write {
+			cu.write(paddr, a.Bytes, at)
+			done(at) // posted store: the wavefront does not wait
+			return
+		}
+		cu.read(wf, paddr, a.Bytes, at, done)
+	})
+	if !ok {
+		cu.Stats.Retries.Inc()
+		cu.sched.After(now, 4, func(at sim.Cycle) { cu.issue(wf, a, at, done) })
+	}
+}
+
+// write performs a write-through store: update L1 if present, then
+// deliver the line to its home partition (local call or remote packet).
+func (cu *CU) write(paddr uint64, bytes int, now sim.Cycle) {
+	cu.Stats.WritesPosted.Inc()
+	lineOff := int(paddr % flit.LineBytes)
+	cu.L1.Write(paddr, cu.cfg.L1.MaskForBytes(lineOff, bytes))
+	home := cu.gpu.topo.HomeGPU(paddr)
+	if home == cu.gpu.ID {
+		cu.gpu.localWrites++
+		cu.gpu.Mem.WriteLine(paddr, now, func(sim.Cycle) { cu.gpu.localWrites-- })
+		return
+	}
+	cu.gpu.RDMA.WriteRemote(paddr, bytes, now)
+}
+
+// read performs a load through the L1 with its lookup latency, MSHRs,
+// and the fetch policy of the configured mode.
+func (cu *CU) read(wf *wavefront, paddr uint64, bytes int, now sim.Cycle, done func(sim.Cycle)) {
+	cu.Stats.Reads.Inc()
+	lineOff := int(paddr % flit.LineBytes)
+	if lineOff+bytes > flit.LineBytes {
+		// The coalescer emits per-line accesses; a cross-line span is a
+		// generator bug and would never be fillable.
+		panic(fmt.Sprintf("gpu: access at %#x spans a line boundary (%d bytes)", paddr, bytes))
+	}
+	needed := cu.cfg.L1.MaskForBytes(lineOff, bytes)
+	cu.sched.After(now, cu.cfg.L1Latency, func(at sim.Cycle) {
+		if cu.L1.Lookup(paddr, needed) == cache.Hit {
+			done(at)
+			return
+		}
+		lineAddr := paddr / flit.LineBytes * flit.LineBytes
+		pr := &pendingRead{wf: wf, paddr: paddr, bytes: bytes, needed: needed}
+		pr.done = done
+		switch cu.mshr.Allocate(lineAddr, needed, pr) {
+		case cache.Merged:
+			return
+		case cache.Stalled:
+			cu.Stats.Retries.Inc()
+			cu.sched.After(at, 4, func(at2 sim.Cycle) { cu.retryRead(lineAddr, pr, at2) })
+			return
+		}
+		cu.fetch(lineAddr, pr, at)
+	})
+}
+
+// retryRead re-attempts an MSHR-stalled miss. The architectural access
+// was already counted by the original lookup, so this path checks state
+// without perturbing hit/miss statistics.
+func (cu *CU) retryRead(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
+	if cu.L1.Contains(lineAddr, pr.needed) {
+		pr.done(now) // filled while we waited
+		return
+	}
+	switch cu.mshr.Allocate(lineAddr, pr.needed, pr) {
+	case cache.Merged:
+		return
+	case cache.Stalled:
+		cu.Stats.Retries.Inc()
+		cu.sched.After(now, 4, func(at sim.Cycle) { cu.retryRead(lineAddr, pr, at) })
+		return
+	}
+	cu.fetch(lineAddr, pr, now)
+}
+
+// fetch services a primary L1 miss from the home partition.
+func (cu *CU) fetch(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
+	home := cu.gpu.topo.HomeGPU(lineAddr)
+	if home == cu.gpu.ID {
+		cu.gpu.Mem.ReadLine(lineAddr, now, func(at sim.Cycle) {
+			cu.fill(lineAddr, false, pr, at)
+		})
+		return
+	}
+	// Remote: the request carries the true byte need; in sector mode
+	// the home returns exactly the needed sectors, otherwise the full
+	// line goes out with trim hints for the NetCrafter controller.
+	cu.gpu.RDMA.ReadRemote(pr.paddr, pr.bytes, now, func(trimmed bool, at sim.Cycle) {
+		cu.fill(lineAddr, trimmed, pr, at)
+	})
+}
+
+// fill installs the arrived data in the L1 and releases MSHR waiters.
+func (cu *CU) fill(lineAddr uint64, trimmed bool, pr *pendingRead, now sim.Cycle) {
+	cfg := cu.cfg.L1
+	var mask cache.SectorMask
+	switch {
+	case trimmed:
+		// Only the requested sector arrived.
+		mask = cfg.MaskForBytes(int(pr.paddr%flit.LineBytes), pr.bytes)
+	case cu.cfg.FetchMode == FetchSector:
+		// Sector mode fills only the needed sectors even from local
+		// memory — the all-trimming policy of the comparison baseline.
+		m, okM := cu.mshr.Mask(lineAddr)
+		if okM {
+			mask = m
+		} else {
+			mask = pr.needed
+		}
+	default:
+		mask = cfg.FullMask()
+	}
+	if mask == 0 {
+		mask = pr.needed
+	}
+	cu.L1.Fill(lineAddr, mask)
+	waiters, _, ok := cu.mshr.Release(lineAddr)
+	if !ok {
+		panic("gpu: fill without MSHR entry")
+	}
+	for _, w := range waiters {
+		if cu.L1.Contains(lineAddr, w.needed) {
+			w.done(now)
+			continue
+		}
+		// A merged waiter needed sectors the (trimmed) fill did not
+		// bring: replay its read.
+		w2 := w
+		cu.sched.After(now, 1, func(at sim.Cycle) {
+			cu.read(w2.wf, w2.paddr, w2.bytes, at, w2.done)
+		})
+	}
+}

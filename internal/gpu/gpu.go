@@ -1,0 +1,152 @@
+package gpu
+
+import (
+	"fmt"
+
+	"netcrafter/internal/sim"
+	"netcrafter/internal/vm"
+	"netcrafter/internal/workload"
+)
+
+// GPU assembles one GPU: CUs with their L1s and L1 TLBs, the shared L2
+// TLB and GMMU, the memory partition, and the RDMA engine.
+type GPU struct {
+	ID    int
+	Name  string
+	cfg   Config
+	topo  Topology
+	sched *sim.Scheduler
+
+	CUs   []*CU
+	L2TLB *vm.TLB
+	GMMU  *vm.GMMU
+	Mem   *MemPartition
+	RDMA  *RDMA
+
+	// Work management.
+	queue       []workload.Program // wavefronts awaiting a CU slot
+	activeWaves int
+	localWrites int // posted local writes in flight
+}
+
+// New builds a GPU. The page table is shared system-wide; the topology
+// tells the GPU where physical addresses live.
+func New(id int, cfg Config, topo Topology, pt *vm.PageTable, sched *sim.Scheduler) *GPU {
+	cfg = cfg.WithDefaults()
+	g := &GPU{
+		ID:    id,
+		Name:  fmt.Sprintf("gpu%d", id),
+		cfg:   cfg,
+		topo:  topo,
+		sched: sched,
+	}
+	g.Mem = NewMemPartition(g.Name+".mem", id, cfg, sched)
+	g.RDMA = NewRDMA(g.Name+".rdma", id, topo, g.Mem, cfg, sched)
+	g.GMMU = vm.NewGMMU(g.Name+".gmmu", cfg.GMMU, pt, &pteRouter{g: g}, sched)
+	g.L2TLB = vm.NewTLB(g.Name+".l2tlb", cfg.L2TLB, g.GMMU, sched)
+	for i := 0; i < cfg.NumCUs; i++ {
+		g.CUs = append(g.CUs, newCU(fmt.Sprintf("%s.cu%d", g.Name, i), i, g))
+	}
+	return g
+}
+
+// Config returns the GPU configuration (after defaulting).
+func (g *GPU) Config() Config { return g.cfg }
+
+// Tickers returns the engine-driven components of this GPU.
+func (g *GPU) Tickers() []sim.Ticker {
+	ts := []sim.Ticker{g.RDMA}
+	ts = append(ts, g.Mem.Tickers()...)
+	return ts
+}
+
+// EnqueueWave schedules one wavefront program for execution on this
+// GPU. Call before or during simulation; dispatch happens via the
+// scheduler.
+func (g *GPU) EnqueueWave(prog workload.Program, now sim.Cycle) {
+	g.queue = append(g.queue, prog)
+	g.activeWaves++
+	g.sched.After(now, 1, g.dispatch)
+}
+
+func (g *GPU) dispatch(now sim.Cycle) {
+	for _, cu := range g.CUs {
+		for cu.freeSlots() > 0 && len(g.queue) > 0 {
+			prog := g.queue[0]
+			g.queue = g.queue[1:]
+			cu.start(prog, now)
+		}
+	}
+}
+
+// waveDone is called by a CU when a wavefront retires.
+func (g *GPU) waveDone(now sim.Cycle) {
+	g.activeWaves--
+	if len(g.queue) > 0 {
+		g.dispatch(now)
+	}
+}
+
+// Idle reports whether the GPU has no wavefronts and no outstanding
+// memory activity it initiated.
+func (g *GPU) Idle() bool {
+	return g.activeWaves == 0 &&
+		len(g.queue) == 0 &&
+		g.localWrites == 0 &&
+		g.RDMA.OutstandingWrites() == 0 &&
+		g.RDMA.PendingReads() == 0
+}
+
+// ActiveWaves returns wavefronts queued or running.
+func (g *GPU) ActiveWaves() int { return g.activeWaves }
+
+// FlushL1 invalidates all CU L1 caches (software coherence at kernel
+// boundaries).
+func (g *GPU) FlushL1() {
+	for _, cu := range g.CUs {
+		cu.L1.InvalidateAll()
+	}
+}
+
+// Instructions sums executed wavefront instructions across CUs.
+func (g *GPU) Instructions() int64 {
+	var n int64
+	for _, cu := range g.CUs {
+		n += cu.Stats.Instructions.Value()
+	}
+	return n
+}
+
+// L1Misses sums L1 line and sector misses across CUs.
+func (g *GPU) L1Misses() int64 {
+	var n int64
+	for _, cu := range g.CUs {
+		n += cu.L1.Stats.Misses.Value() + cu.L1.Stats.SectorMisses.Value()
+	}
+	return n
+}
+
+// L1Accesses sums L1 accesses across CUs.
+func (g *GPU) L1Accesses() int64 {
+	var n int64
+	for _, cu := range g.CUs {
+		n += cu.L1.Stats.Accesses.Value()
+	}
+	return n
+}
+
+// pteRouter implements vm.PTEReader over the GPU's memory paths: local
+// PTEs through the local L2, remote ones as PTReq packets.
+type pteRouter struct {
+	g *GPU
+}
+
+func (p *pteRouter) ReadPTE(addr uint64, now sim.Cycle, done func(at sim.Cycle)) bool {
+	home := p.g.topo.HomeGPU(addr)
+	if home == p.g.ID {
+		p.g.Mem.ReadLine(addr, now, done)
+		return true
+	}
+	p.g.RDMA.ReadPTERemote(addr, now, done)
+	return true
+}

@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"netcrafter/internal/cache"
+	"netcrafter/internal/dram"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// MemPartition is one GPU's share of the global memory space: its
+// banked L2 cache backed by its DRAM stack. It serves line reads and
+// writes from local CUs, from remote GPUs (via the RDMA engine), and
+// PTE reads from page table walkers (PTEs are cached in L2 alongside
+// data, per Section 2.3).
+type MemPartition struct {
+	Name  string
+	gpuID int
+	cfg   Config
+	banks []*cache.Cache
+	// bankFree[i] is the next cycle bank i can accept a request
+	// (1 request/cycle service).
+	bankFree []sim.Cycle
+	dram     *dram.DRAM
+	sched    *sim.Scheduler
+
+	Reads       stats.Counter
+	Writes      stats.Counter
+	L2Hits      stats.Counter
+	L2Misses    stats.Counter
+	DRAMFetches stats.Counter
+}
+
+// NewMemPartition builds the partition; register its DRAM with the
+// engine (Tickers returns it).
+func NewMemPartition(name string, gpuID int, cfg Config, sched *sim.Scheduler) *MemPartition {
+	m := &MemPartition{
+		Name:     name,
+		gpuID:    gpuID,
+		cfg:      cfg,
+		bankFree: make([]sim.Cycle, cfg.L2Banks),
+		dram:     dram.New(name+".dram", cfg.DRAM, sched),
+		sched:    sched,
+	}
+	for i := 0; i < cfg.L2Banks; i++ {
+		m.banks = append(m.banks, cache.New(cfg.L2Bank))
+	}
+	return m
+}
+
+// Tickers returns the components the engine must tick.
+func (m *MemPartition) Tickers() []sim.Ticker { return []sim.Ticker{m.dram} }
+
+// DRAM exposes the memory stack (stats).
+func (m *MemPartition) DRAM() *dram.DRAM { return m.dram }
+
+// Bank returns the bank cache serving paddr (stats/tests).
+func (m *MemPartition) Bank(paddr uint64) *cache.Cache {
+	return m.banks[m.bankIdx(paddr)]
+}
+
+func (m *MemPartition) bankIdx(paddr uint64) int {
+	return int((paddr / uint64(m.cfg.L2Bank.LineBytes)) % uint64(m.cfg.L2Banks))
+}
+
+// lineAddr returns the line-aligned address.
+func (m *MemPartition) lineAddr(paddr uint64) uint64 {
+	lb := uint64(m.cfg.L2Bank.LineBytes)
+	return paddr / lb * lb
+}
+
+// ReadLine fetches the full cache line containing paddr through the L2
+// bank (fills on miss from DRAM). done fires when the line is
+// available. Always accepts (DRAM queue is unbounded by default; bank
+// contention is modeled as queueing delay on bankFree).
+func (m *MemPartition) ReadLine(paddr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+	m.Reads.Inc()
+	bi := m.bankIdx(paddr)
+	start := now
+	if m.bankFree[bi] > start {
+		start = m.bankFree[bi]
+	}
+	m.bankFree[bi] = start + 1 // one request per cycle per bank
+	la := m.lineAddr(paddr)
+	bank := m.banks[bi]
+	m.sched.At(start+m.cfg.L2Latency, func(at sim.Cycle) {
+		if bank.Lookup(la, bank.Config().FullMask()) == cache.Hit {
+			m.L2Hits.Inc()
+			done(at)
+			return
+		}
+		m.L2Misses.Inc()
+		m.fetchFromDRAM(la, at, done)
+	})
+}
+
+func (m *MemPartition) fetchFromDRAM(la uint64, now sim.Cycle, done func(at sim.Cycle)) {
+	m.DRAMFetches.Inc()
+	bank := m.banks[m.bankIdx(la)]
+	req := &dram.Request{Addr: la, Bytes: m.cfg.L2Bank.LineBytes, Done: func(at sim.Cycle) {
+		ev, evicted := bank.Fill(la, bank.Config().FullMask())
+		if evicted && ev.Dirty {
+			// Write-back of the victim, fire-and-forget.
+			m.dramWrite(ev.LineAddr, at)
+		}
+		done(at)
+	}}
+	if !m.dram.Access(req, now) {
+		m.sched.After(now, 4, func(at sim.Cycle) { m.fetchFromDRAM(la, at, done) })
+	}
+}
+
+func (m *MemPartition) dramWrite(la uint64, now sim.Cycle) {
+	req := &dram.Request{Addr: la, Bytes: m.cfg.L2Bank.LineBytes, Write: true}
+	if !m.dram.Access(req, now) {
+		m.sched.After(now, 4, func(at sim.Cycle) { m.dramWrite(la, at) })
+	}
+}
+
+// WriteLine performs a store of the line containing paddr: write-back
+// L2 with no-allocate-on-miss (misses go straight to DRAM). done fires
+// when the write is accepted by the L2/DRAM.
+func (m *MemPartition) WriteLine(paddr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+	m.Writes.Inc()
+	bi := m.bankIdx(paddr)
+	start := now
+	if m.bankFree[bi] > start {
+		start = m.bankFree[bi]
+	}
+	m.bankFree[bi] = start + 1
+	la := m.lineAddr(paddr)
+	bank := m.banks[bi]
+	m.sched.At(start+m.cfg.L2Latency, func(at sim.Cycle) {
+		if bank.Write(la, bank.Config().FullMask()) {
+			done(at) // dirty in L2; written back on eviction
+			return
+		}
+		m.dramWrite(la, at)
+		done(at)
+	})
+}

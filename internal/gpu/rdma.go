@@ -1,0 +1,326 @@
+package gpu
+
+import (
+	"fmt"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/network"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// Topology is what a GPU needs to know about the system it lives in.
+// Package cluster implements it.
+type Topology interface {
+	// HomeGPU returns the GPU owning the physical address.
+	HomeGPU(paddr uint64) int
+	// DeviceOf returns the network endpoint of a GPU's RDMA engine.
+	DeviceOf(gpu int) flit.DeviceID
+	// ClusterOf returns the cluster a GPU belongs to.
+	ClusterOf(gpu int) flit.ClusterID
+}
+
+// RDMAStats aggregates the remote-access picture of one GPU.
+type RDMAStats struct {
+	RemoteReads    stats.Counter
+	RemoteWrites   stats.Counter
+	RemotePTEReads stats.Counter
+	ServedReads    stats.Counter // requests served for other GPUs
+	ServedWrites   stats.Counter
+	ServedPTEs     stats.Counter
+	// Latency of completed remote reads, split by whether the request
+	// crossed clusters (Figs 5 and 15 report the inter-cluster one).
+	InterClusterReadLat stats.Sampler
+	IntraClusterReadLat stats.Sampler
+	// BytesNeeded classifies inter-cluster read requests by how many
+	// bytes of the line the wavefront needed (Fig 7).
+	BytesNeeded *stats.Histogram
+}
+
+// RDMA is the per-GPU remote direct memory access engine (Section 2.1):
+// it packetizes remote memory transactions, segments packets into
+// flits, reassembles arriving flits, and services requests that other
+// GPUs address to this GPU's memory partition.
+type RDMA struct {
+	Name  string
+	gpuID int
+	dev   flit.DeviceID
+	topo  Topology
+	mem   *MemPartition
+	sched *sim.Scheduler
+	cfg   Config
+
+	// Port connects to the cluster switch via a link.
+	Port  *network.Port
+	sendQ *sim.Queue[*flit.Flit]
+	reasm *flit.Reassembler
+
+	nextID       uint64
+	pendingReads map[uint64]*readTxn
+	pendingPTEs  map[uint64]func(at sim.Cycle)
+	// outstandingWrites counts posted remote writes awaiting WriteRsp.
+	outstandingWrites int
+
+	Stats RDMAStats
+}
+
+type readTxn struct {
+	issuedAt     sim.Cycle
+	interCluster bool
+	done         func(trimmed bool, at sim.Cycle)
+}
+
+// NewRDMA builds the engine. The port buffer is sized like a switch
+// buffer.
+func NewRDMA(name string, gpuID int, topo Topology, mem *MemPartition, cfg Config, sched *sim.Scheduler) *RDMA {
+	r := &RDMA{
+		Name:         name,
+		gpuID:        gpuID,
+		dev:          topo.DeviceOf(gpuID),
+		topo:         topo,
+		mem:          mem,
+		sched:        sched,
+		cfg:          cfg,
+		Port:         network.NewPort(name+".port", 1024),
+		sendQ:        sim.NewQueue[*flit.Flit](0, 1),
+		reasm:        flit.NewReassembler(),
+		pendingReads: make(map[uint64]*readTxn),
+		pendingPTEs:  make(map[uint64]func(sim.Cycle)),
+	}
+	r.Stats.BytesNeeded = stats.NewHistogram("le16", "le32", "le48", "le64")
+	return r
+}
+
+// Device returns this engine's network endpoint id.
+func (r *RDMA) Device() flit.DeviceID { return r.dev }
+
+// OutstandingWrites returns posted writes not yet acknowledged.
+func (r *RDMA) OutstandingWrites() int { return r.outstandingWrites }
+
+// PendingReads returns in-flight remote reads (drain check).
+func (r *RDMA) PendingReads() int { return len(r.pendingReads) + len(r.pendingPTEs) }
+
+func (r *RDMA) newPacket(t flit.Type, dst flit.DeviceID, dstGPU int, addr uint64, now sim.Cycle) *flit.Packet {
+	r.nextID++
+	return &flit.Packet{
+		ID:         uint64(r.gpuID)<<48 | r.nextID,
+		Type:       t,
+		Src:        r.dev,
+		Dst:        dst,
+		SrcCluster: r.topo.ClusterOf(r.gpuID),
+		DstCluster: r.topo.ClusterOf(dstGPU),
+		Addr:       addr,
+		CreatedAt:  now,
+	}
+}
+
+func (r *RDMA) send(p *flit.Packet, now sim.Cycle) {
+	for _, f := range flit.Segment(p, r.cfg.FlitBytes) {
+		r.sendQ.Push(f, now)
+	}
+}
+
+// trimFields computes the three repurposed trim bits for a read of
+// `bytes` bytes at paddr: eligible when the span fits one trim-sized
+// sector.
+func trimFields(paddr uint64, bytes, trimBytes int) (eligible bool, offset uint8) {
+	if bytes <= 0 || bytes > trimBytes {
+		return false, 0
+	}
+	lineOff := int(paddr % flit.LineBytes)
+	first := lineOff / trimBytes
+	last := (lineOff + bytes - 1) / trimBytes
+	if first != last {
+		return false, 0
+	}
+	return true, uint8(first)
+}
+
+// ReadRemote issues a read of `bytes` bytes at paddr to its home GPU.
+// done reports whether the response arrived trimmed.
+func (r *RDMA) ReadRemote(paddr uint64, bytes int, now sim.Cycle, done func(trimmed bool, at sim.Cycle)) {
+	home := r.topo.HomeGPU(paddr)
+	if home == r.gpuID {
+		panic("gpu: ReadRemote to self")
+	}
+	r.Stats.RemoteReads.Inc()
+	p := r.newPacket(flit.ReadReq, r.topo.DeviceOf(home), home, paddr, now)
+	p.RequiredBytesHint = bytes
+	p.TrimEligible, p.SectorOffset = trimFields(paddr, bytes, r.cfg.TrimBytes)
+	p.TrimBytes = r.cfg.TrimBytes
+	p.SectorRequest = r.cfg.FetchMode == FetchSector && bytes < flit.LineBytes
+	inter := p.CrossesClusters()
+	if inter {
+		switch {
+		case bytes <= 16:
+			r.Stats.BytesNeeded.Observe("le16", 1)
+		case bytes <= 32:
+			r.Stats.BytesNeeded.Observe("le32", 1)
+		case bytes <= 48:
+			r.Stats.BytesNeeded.Observe("le48", 1)
+		default:
+			r.Stats.BytesNeeded.Observe("le64", 1)
+		}
+	}
+	r.pendingReads[p.ID] = &readTxn{issuedAt: now, interCluster: inter, done: done}
+	r.send(p, now)
+}
+
+// WriteRemote posts a write of `bytes` dirty bytes at paddr to its home
+// GPU. The wavefront does not wait; the WriteRsp retires the posted
+// write. Trim hints ride along so a controller with the write-mask
+// extension enabled can trim the payload.
+func (r *RDMA) WriteRemote(paddr uint64, bytes int, now sim.Cycle) {
+	home := r.topo.HomeGPU(paddr)
+	if home == r.gpuID {
+		panic("gpu: WriteRemote to self")
+	}
+	r.Stats.RemoteWrites.Inc()
+	p := r.newPacket(flit.WriteReq, r.topo.DeviceOf(home), home, paddr, now)
+	p.RequiredBytesHint = bytes
+	p.TrimEligible, p.SectorOffset = trimFields(paddr, bytes, r.cfg.TrimBytes)
+	p.TrimBytes = r.cfg.TrimBytes
+	r.outstandingWrites++
+	r.send(p, now)
+}
+
+// ReadPTERemote fetches a PTE from a remote GPU (PTReq/PTRsp traffic).
+func (r *RDMA) ReadPTERemote(addr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+	home := r.topo.HomeGPU(addr)
+	if home == r.gpuID {
+		panic("gpu: ReadPTERemote to self")
+	}
+	r.Stats.RemotePTEReads.Inc()
+	p := r.newPacket(flit.PTReq, r.topo.DeviceOf(home), home, addr, now)
+	r.pendingPTEs[p.ID] = done
+	r.send(p, now)
+}
+
+// Tick implements sim.Ticker: receive + dispatch, then drain sends.
+func (r *RDMA) Tick(now sim.Cycle) bool {
+	busy := false
+	for {
+		f, ok := r.Port.In.Pop(now)
+		if !ok {
+			break
+		}
+		busy = true
+		for _, p := range r.reasm.AddFlit(f) {
+			r.dispatch(p, now)
+		}
+	}
+	for {
+		f, ok := r.sendQ.Peek(now)
+		if !ok || r.Port.Out.Full() {
+			break
+		}
+		r.sendQ.Pop(now)
+		f.InjectedAt = now
+		r.Port.Out.Push(f, now)
+		busy = true
+	}
+	return busy
+}
+
+// NextWake implements sim.WakeHinter.
+func (r *RDMA) NextWake(now sim.Cycle) sim.Cycle {
+	a, b := r.Port.In.NextReady(), r.sendQ.NextReady()
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
+	switch p.Type {
+	case flit.ReadReq:
+		r.serveRead(p, now)
+	case flit.WriteReq:
+		r.serveWrite(p, now)
+	case flit.PTReq:
+		r.servePTE(p, now)
+	case flit.ReadRsp:
+		reqID := p.Meta.(uint64)
+		txn := r.pendingReads[reqID]
+		if txn == nil {
+			panic(fmt.Sprintf("gpu: %s got ReadRsp for unknown request %d", r.Name, reqID))
+		}
+		delete(r.pendingReads, reqID)
+		lat := float64(now - txn.issuedAt)
+		if txn.interCluster {
+			r.Stats.InterClusterReadLat.Observe(lat)
+		} else {
+			r.Stats.IntraClusterReadLat.Observe(lat)
+		}
+		txn.done(p.Trimmed, now)
+	case flit.WriteRsp:
+		r.outstandingWrites--
+		if r.outstandingWrites < 0 {
+			panic("gpu: WriteRsp without outstanding write")
+		}
+	case flit.PTRsp:
+		reqID := p.Meta.(uint64)
+		done := r.pendingPTEs[reqID]
+		if done == nil {
+			panic(fmt.Sprintf("gpu: %s got PTRsp for unknown request %d", r.Name, reqID))
+		}
+		delete(r.pendingPTEs, reqID)
+		done(now)
+	}
+}
+
+// newResponse builds a response packet routed back to the requester.
+func (r *RDMA) newResponse(t flit.Type, req *flit.Packet, now sim.Cycle) *flit.Packet {
+	r.nextID++
+	return &flit.Packet{
+		ID:         uint64(r.gpuID)<<48 | r.nextID,
+		Type:       t,
+		Src:        r.dev,
+		Dst:        req.Src,
+		SrcCluster: r.topo.ClusterOf(r.gpuID),
+		DstCluster: req.SrcCluster,
+		Addr:       req.Addr,
+		CreatedAt:  now,
+		Meta:       req.ID,
+	}
+}
+
+// serveRead answers a remote GPU's read against the local partition.
+func (r *RDMA) serveRead(req *flit.Packet, now sim.Cycle) {
+	r.Stats.ServedReads.Inc()
+	r.mem.ReadLine(req.Addr, now, func(at sim.Cycle) {
+		rsp := r.newResponse(flit.ReadRsp, req, at)
+		rsp.TrimEligible = req.TrimEligible
+		rsp.SectorOffset = req.SectorOffset
+		rsp.TrimBytes = req.TrimBytes
+		if req.SectorRequest {
+			// Sector-cache baseline: return exactly the sectors the
+			// request covers, on every network (not only
+			// inter-cluster ones).
+			g := req.TrimBytes
+			if g <= 0 {
+				g = flit.SectorBytes
+			}
+			off := int(req.Addr % flit.LineBytes)
+			first := off / g
+			last := (off + req.RequiredBytesHint - 1) / g
+			rsp.Trimmed = true
+			rsp.TrimBytes = (last - first + 1) * g
+		}
+		r.send(rsp, at)
+	})
+}
+
+func (r *RDMA) serveWrite(req *flit.Packet, now sim.Cycle) {
+	r.Stats.ServedWrites.Inc()
+	r.mem.WriteLine(req.Addr, now, func(at sim.Cycle) {
+		r.send(r.newResponse(flit.WriteRsp, req, at), at)
+	})
+}
+
+func (r *RDMA) servePTE(req *flit.Packet, now sim.Cycle) {
+	r.Stats.ServedPTEs.Inc()
+	r.mem.ReadLine(req.Addr, now, func(at sim.Cycle) {
+		r.send(r.newResponse(flit.PTRsp, req, at), at)
+	})
+}

@@ -1,0 +1,97 @@
+// Package lasp implements Locality-Aware Scheduling and Placement
+// (Khairy et al. [42]) as adopted by the paper's baseline: kernels are
+// classified by their data-structure access patterns; CTAs are
+// scheduled onto GPUs aligned with the data blocks they touch, and
+// pages are placed to keep those accesses local. Interleaved (shared /
+// irregular) structures are page-round-robined across GPUs. The paper's
+// extension — co-locating each leaf PTE page with the first data page
+// of its 2MB region — is carried out by the loader in package cluster
+// via vm.PageTable.Map.
+package lasp
+
+import "netcrafter/internal/workload"
+
+// Policy selects the page-placement strategy.
+type Policy int
+
+const (
+	// PolicyLASP — the paper's baseline: pattern-aware placement
+	// (block-partitioned for partitioned structures, page-interleaved
+	// for shared ones) with co-scheduled CTAs.
+	PolicyLASP Policy = iota
+	// PolicyRoundRobin — pattern-blind interleaving of every region,
+	// the naive placement LASP improves on; kept as an ablation to
+	// validate that the baseline is not handicapped by bad mapping
+	// (the paper's Section 5.1 check).
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	if p == PolicyRoundRobin {
+		return "round-robin"
+	}
+	return "lasp"
+}
+
+// PlacePages returns the GPU owning each page of a region.
+func PlacePages(r workload.Region, gpus int) []int {
+	return PlacePagesPolicy(r, gpus, PolicyLASP)
+}
+
+// PlacePagesPolicy is PlacePages under an explicit policy.
+func PlacePagesPolicy(r workload.Region, gpus int, pol Policy) []int {
+	n := r.Pages()
+	owners := make([]int, n)
+	if pol == PolicyRoundRobin || r.Placement == workload.PlaceInterleaved {
+		for p := 0; p < n; p++ {
+			owners[p] = p % gpus
+		}
+		return owners
+	}
+	// Block partitioning aligned with CTA slices.
+	for p := 0; p < n; p++ {
+		owners[p] = p * gpus / n
+	}
+	return owners
+}
+
+// ScheduleCTAs returns the GPU each CTA of the kernel runs on.
+// Partitioned kernels co-schedule CTA i with data slice i; others are
+// round-robined for load balance.
+func ScheduleCTAs(k workload.Kernel, gpus int) []int {
+	out := make([]int, k.CTAs)
+	for c := 0; c < k.CTAs; c++ {
+		if k.Partitioned {
+			// Assign by the owner of the slice midpoint, which is the
+			// majority owner of the CTA's data when slice and page
+			// boundaries do not line up.
+			out[c] = (2*c + 1) * gpus / (2 * k.CTAs)
+		} else {
+			out[c] = c % gpus
+		}
+	}
+	return out
+}
+
+// LocalShare estimates, for reporting, the fraction of a kernel's
+// region pages its CTAs find locally (diagnostic used to validate that
+// the mapping is not pathological, per the paper's Section 5.1 check).
+func LocalShare(spec *workload.Spec, gpus int) float64 {
+	totalPages, localish := 0, 0
+	for _, r := range spec.Regions {
+		owners := PlacePages(r, gpus)
+		totalPages += len(owners)
+		if r.Placement == workload.PlacePartitioned {
+			// Partitioned pages are local to their aligned CTAs by
+			// construction.
+			localish += len(owners)
+		} else {
+			// Interleaved pages are local 1/gpus of the time.
+			localish += len(owners) / gpus
+		}
+	}
+	if totalPages == 0 {
+		return 0
+	}
+	return float64(localish) / float64(totalPages)
+}

@@ -1,0 +1,84 @@
+package network
+
+import (
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// Link is a bidirectional connection between two ports. Each direction
+// moves up to FlitsPerCycle flits per cycle and imposes Latency cycles
+// of propagation delay. When the receiving buffer is full the flit
+// stays put — back-pressure that propagates upstream, exactly the
+// paper's description of a stalled outgoing buffer pausing routing.
+//
+// Bandwidth mapping at the 1 GHz clock with 16-byte flits:
+// 16 GB/s = 1 flit/cycle (the inter-GPU-cluster network),
+// 128 GB/s = 8 flits/cycle (the intra-GPU-cluster network).
+type Link struct {
+	Name          string
+	A, B          *Port
+	FlitsPerCycle int
+	Latency       sim.Cycle
+
+	// AtoB/BtoA expose per-direction statistics.
+	AtoB *stats.LinkStats
+	BtoA *stats.LinkStats
+}
+
+// NewLink connects two ports with the given per-direction bandwidth
+// (flits/cycle) and propagation latency.
+func NewLink(name string, a, b *Port, flitsPerCycle int, latency sim.Cycle) *Link {
+	if flitsPerCycle < 1 {
+		panic("network: link bandwidth must be >= 1 flit/cycle")
+	}
+	return &Link{
+		Name: name, A: a, B: b,
+		FlitsPerCycle: flitsPerCycle,
+		Latency:       latency,
+		AtoB:          stats.NewLinkStats(name+":a->b", flitsPerCycle),
+		BtoA:          stats.NewLinkStats(name+":b->a", flitsPerCycle),
+	}
+}
+
+// Tick moves flits in both directions. Implements sim.Ticker.
+func (l *Link) Tick(now sim.Cycle) bool {
+	busy := l.move(now, l.A, l.B, l.AtoB)
+	if l.move(now, l.B, l.A, l.BtoA) {
+		busy = true
+	}
+	return busy
+}
+
+func (l *Link) move(now sim.Cycle, src, dst *Port, st *stats.LinkStats) bool {
+	moved := false
+	for i := 0; i < l.FlitsPerCycle; i++ {
+		f, ok := src.Out.Peek(now)
+		if !ok {
+			break
+		}
+		if dst.In.Full() {
+			st.StallCycles.Inc()
+			break
+		}
+		src.Out.Pop(now)
+		// The receiving queue's own one-cycle delay plus (Latency-1)
+		// extra gives a total of Latency cycles of propagation.
+		extra := l.Latency - 1
+		if extra < 0 {
+			extra = 0
+		}
+		dst.In.PushAt(f, now+1+extra)
+		st.RecordMove(now, f.OccupiedBytes(), f.Size)
+		moved = true
+	}
+	return moved
+}
+
+// NextWake implements sim.WakeHinter.
+func (l *Link) NextWake(now sim.Cycle) sim.Cycle {
+	a, b := l.A.Out.NextReady(), l.B.Out.NextReady()
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package network
+
+import (
+	"fmt"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/sim"
+)
+
+// SwitchConfig carries the switch microarchitecture parameters
+// (Table 2: 30-cycle processing latency, 1024-entry I/O buffers).
+type SwitchConfig struct {
+	ProcessingLatency sim.Cycle
+	BufferEntries     int
+}
+
+// DefaultSwitchConfig returns the paper's baseline switch parameters.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{ProcessingLatency: 30, BufferEntries: 1024}
+}
+
+// Switch is a crossbar router. Each attached port feeds an input
+// pipeline with the configured processing latency; routed flits are
+// placed in per-output buffers and ejected at 1 flit/cycle/port. Full
+// output buffers pause routing for flits bound to them (back-pressure).
+type Switch struct {
+	Name  string
+	cfg   SwitchConfig
+	ports []*Port
+	// pipes[i] holds flits from ports[i] that are traversing the
+	// processing pipeline.
+	pipes []*sim.Queue[*flit.Flit]
+	// outBufs[i] holds routed flits waiting for egress on ports[i].
+	outBufs []*sim.Queue[*flit.Flit]
+	// rates[i] is the per-cycle flit service rate of ports[i]; it is
+	// sized to the attached link's bandwidth so the higher-bandwidth
+	// intra-cluster ports are not throttled to 1 flit/cycle.
+	rates   []int
+	maxRate int
+	granted []int // per-tick scratch, reused across cycles
+	route   map[flit.DeviceID]int
+	defPort int
+	rrNext  int
+}
+
+// NewSwitch creates a switch with no ports attached. defPort is used
+// for any destination without an explicit route (-1 = drop is illegal:
+// unroutable flits panic, surfacing topology bugs immediately).
+func NewSwitch(name string, cfg SwitchConfig) *Switch {
+	return &Switch{
+		Name:    name,
+		cfg:     cfg,
+		route:   make(map[flit.DeviceID]int),
+		defPort: -1,
+	}
+}
+
+// AddPort attaches a port with a 1 flit/cycle service rate and returns
+// its index.
+func (s *Switch) AddPort(p *Port) int {
+	s.ports = append(s.ports, p)
+	s.pipes = append(s.pipes, sim.NewQueue[*flit.Flit](s.cfg.BufferEntries, s.cfg.ProcessingLatency))
+	s.outBufs = append(s.outBufs, sim.NewQueue[*flit.Flit](s.cfg.BufferEntries, 1))
+	s.rates = append(s.rates, 1)
+	s.granted = append(s.granted, 0)
+	if s.maxRate < 1 {
+		s.maxRate = 1
+	}
+	return len(s.ports) - 1
+}
+
+// NewPort creates, attaches and returns a new port on the switch.
+func (s *Switch) NewPort(name string) *Port {
+	p := NewPort(fmt.Sprintf("%s.%s", s.Name, name), s.cfg.BufferEntries)
+	s.AddPort(p)
+	return p
+}
+
+// SetPortRate sets the per-cycle flit service rate of a port; topology
+// code matches it to the attached link's bandwidth.
+func (s *Switch) SetPortRate(port, flitsPerCycle int) {
+	s.mustPort(port)
+	if flitsPerCycle < 1 {
+		panic("network: port rate must be >= 1")
+	}
+	s.rates[port] = flitsPerCycle
+	if flitsPerCycle > s.maxRate {
+		s.maxRate = flitsPerCycle
+	}
+}
+
+// SetRoute directs flits for dev out of the given port index.
+func (s *Switch) SetRoute(dev flit.DeviceID, port int) {
+	s.mustPort(port)
+	s.route[dev] = port
+}
+
+// SetDefaultRoute directs flits with no explicit route out of port.
+func (s *Switch) SetDefaultRoute(port int) {
+	s.mustPort(port)
+	s.defPort = port
+}
+
+func (s *Switch) mustPort(port int) {
+	if port < 0 || port >= len(s.ports) {
+		panic(fmt.Sprintf("network: switch %s has no port %d", s.Name, port))
+	}
+}
+
+func (s *Switch) portFor(dev flit.DeviceID) int {
+	if p, ok := s.route[dev]; ok {
+		return p
+	}
+	if s.defPort >= 0 {
+		return s.defPort
+	}
+	panic(fmt.Sprintf("network: switch %s cannot route to device %d", s.Name, dev))
+}
+
+// Tick implements sim.Ticker: ingest, route, eject.
+func (s *Switch) Tick(now sim.Cycle) bool {
+	busy := false
+
+	// Ingress: accept up to the port's rate into the processing
+	// pipeline.
+	for i, p := range s.ports {
+		for k := 0; k < s.rates[i] && !s.pipes[i].Full(); k++ {
+			f, ok := p.In.Pop(now)
+			if !ok {
+				break
+			}
+			s.pipes[i].Push(f, now)
+			busy = true
+		}
+	}
+
+	// Route: each output accepts at most its rate per cycle; inputs
+	// are scanned round-robin for fairness. A flit whose output buffer
+	// is full blocks its input pipeline (head-of-line blocking, as in
+	// a real input-buffered switch).
+	n := len(s.ports)
+	granted := s.granted
+	for i := range granted {
+		granted[i] = 0
+	}
+	for pass := 0; pass < s.maxRate; pass++ {
+		progress := false
+		for k := 0; k < n; k++ {
+			i := (s.rrNext + k) % n
+			f, ok := s.pipes[i].Peek(now)
+			if !ok {
+				continue
+			}
+			out := s.portFor(f.Pkt.Dst)
+			if granted[out] >= s.rates[out] || s.outBufs[out].Full() {
+				continue
+			}
+			s.pipes[i].Pop(now)
+			s.outBufs[out].Push(f, now)
+			granted[out]++
+			progress = true
+			busy = true
+		}
+		if !progress {
+			break
+		}
+	}
+	s.rrNext = (s.rrNext + 1) % max(n, 1)
+
+	// Egress: move up to the port's rate to its Out queue, from which
+	// the attached link drains at link bandwidth.
+	for i, p := range s.ports {
+		for k := 0; k < s.rates[i]; k++ {
+			f, ok := s.outBufs[i].Peek(now)
+			if !ok || p.Out.Full() {
+				break
+			}
+			s.outBufs[i].Pop(now)
+			p.Out.Push(f, now)
+			busy = true
+		}
+	}
+	return busy
+}
+
+// NextWake implements sim.WakeHinter.
+func (s *Switch) NextWake(now sim.Cycle) sim.Cycle {
+	wake := sim.CycleMax
+	for i, p := range s.ports {
+		for _, c := range []sim.Cycle{p.In.NextReady(), s.pipes[i].NextReady(), s.outBufs[i].NextReady()} {
+			if c < wake {
+				wake = c
+			}
+		}
+	}
+	return wake
+}
+
+// Ports returns the attached ports (for topology wiring and tests).
+func (s *Switch) Ports() []*Port { return s.ports }

@@ -1,0 +1,144 @@
+// Package sim provides the deterministic cycle-driven simulation engine
+// that every other component of the simulator runs on.
+//
+// The engine model is intentionally simple: components implement Ticker
+// and are ticked once per cycle in registration order. Determinism comes
+// from the fixed tick order plus the rule (enforced by Queue) that any
+// item enqueued during cycle N becomes visible no earlier than cycle N+1,
+// so the order in which components tick within a cycle cannot create
+// zero-latency communication.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in simulated time, measured in clock cycles of the
+// 1 GHz system clock used throughout the simulator.
+type Cycle int64
+
+// CycleMax is the largest representable cycle, used as "never".
+const CycleMax = Cycle(math.MaxInt64)
+
+// Ticker is a component driven by the engine. Tick is called once per
+// simulated cycle. It must return true if the component made progress
+// (moved, produced, or consumed anything) during this cycle; the engine
+// uses this to fast-forward across fully idle periods.
+type Ticker interface {
+	Tick(now Cycle) bool
+}
+
+// WakeHinter is optionally implemented by Tickers that know the next
+// cycle at which they could possibly make progress (e.g. a timer or a
+// queue with a known ready time). The engine uses hints to skip idle
+// cycles. Returning CycleMax means "no pending work".
+type WakeHinter interface {
+	NextWake(now Cycle) Cycle
+}
+
+// Engine drives a set of Tickers through simulated time.
+type Engine struct {
+	now     Cycle
+	tickers []Ticker
+	names   []string
+}
+
+// NewEngine returns an engine at cycle 0 with no components.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Register adds a component to the tick list. Components are ticked in
+// registration order; registration order is therefore part of the
+// simulated machine's definition and must be deterministic.
+func (e *Engine) Register(name string, t Ticker) {
+	if t == nil {
+		panic("sim: Register called with nil ticker")
+	}
+	e.tickers = append(e.tickers, t)
+	e.names = append(e.names, name)
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Components returns the number of registered tickers.
+func (e *Engine) Components() int { return len(e.tickers) }
+
+// Step advances simulated time by exactly one cycle, ticking every
+// component. It reports whether any component made progress.
+func (e *Engine) Step() bool {
+	busy := false
+	for _, t := range e.tickers {
+		if t.Tick(e.now) {
+			busy = true
+		}
+	}
+	e.now++
+	return busy
+}
+
+// RunUntil advances time until done() reports true or the cycle limit is
+// reached. It returns the cycle at which it stopped and an error if the
+// limit was hit first. Idle stretches are skipped using wake hints: when
+// a full tick round makes no progress, the engine jumps directly to the
+// earliest hinted wake-up cycle.
+func (e *Engine) RunUntil(done func() bool, limit Cycle) (Cycle, error) {
+	for e.now < limit {
+		if done() {
+			return e.now, nil
+		}
+		if !e.Step() {
+			// Nothing moved this cycle; fast-forward to the next
+			// cycle at which anything could move.
+			wake := e.nextWake()
+			if wake == CycleMax {
+				if done() {
+					return e.now, nil
+				}
+				return e.now, fmt.Errorf("sim: deadlock at cycle %d: no component has pending work", e.now)
+			}
+			if wake > e.now {
+				e.now = wake
+			}
+		}
+	}
+	if done() {
+		return e.now, nil
+	}
+	return e.now, fmt.Errorf("sim: cycle limit %d reached", limit)
+}
+
+// Run advances time for exactly n cycles (idle skipping still applies to
+// the internal clock, but the full n cycles of simulated time elapse).
+func (e *Engine) Run(n Cycle) {
+	end := e.now + n
+	for e.now < end {
+		if !e.Step() {
+			wake := e.nextWake()
+			if wake > end {
+				wake = end
+			}
+			if wake > e.now {
+				e.now = wake
+			}
+		}
+	}
+}
+
+func (e *Engine) nextWake() Cycle {
+	wake := CycleMax
+	for _, t := range e.tickers {
+		if h, ok := t.(WakeHinter); ok {
+			if w := h.NextWake(e.now); w < wake {
+				wake = w
+			}
+		} else {
+			// A component without a hint may have work at any time;
+			// we cannot skip past the next cycle.
+			return e.now + 1
+		}
+	}
+	return wake
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := NewQueue[int](0, 1)
+	now := Cycle(0)
+	for i := 0; i < b.N; i++ {
+		q.Push(i, now)
+		now++
+		q.Pop(now)
+	}
+}
+
+func BenchmarkQueueDeepBacklog(b *testing.B) {
+	q := NewQueue[int](0, 1)
+	for i := 0; i < 4096; i++ {
+		q.Push(i, 0)
+	}
+	now := Cycle(10)
+	for i := 0; i < b.N; i++ {
+		v, _ := q.Pop(now)
+		q.Push(v, now)
+		now++
+	}
+}
+
+func BenchmarkSchedulerClusteredEvents(b *testing.B) {
+	s := NewScheduler()
+	e := NewEngine()
+	e.Register("s", s)
+	nop := func(Cycle) {}
+	for i := 0; i < b.N; i++ {
+		now := e.Now()
+		// Typical shape: many events landing on few distinct cycles.
+		for j := 0; j < 16; j++ {
+			s.After(now, Cycle(1+j%4*25), nop)
+		}
+		e.Step()
+	}
+}
+
+func BenchmarkEngineIdleSkip(b *testing.B) {
+	e := NewEngine()
+	s := NewScheduler()
+	e.Register("s", s)
+	for i := 0; i < b.N; i++ {
+		s.At(e.Now()+1000, func(Cycle) {})
+		e.Run(1000)
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueDelayOneCycle(t *testing.T) {
+	q := NewQueue[int](4, 1)
+	if !q.Push(7, 10) {
+		t.Fatal("push rejected on empty queue")
+	}
+	if _, ok := q.Pop(10); ok {
+		t.Fatal("item visible in the cycle it was pushed")
+	}
+	v, ok := q.Pop(11)
+	if !ok || v != 7 {
+		t.Fatalf("Pop(11) = %d,%v want 7,true", v, ok)
+	}
+}
+
+func TestQueueCapacityAndBackpressure(t *testing.T) {
+	q := NewQueue[int](2, 1)
+	if !q.Push(1, 0) || !q.Push(2, 0) {
+		t.Fatal("pushes within capacity rejected")
+	}
+	if q.Push(3, 0) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	if !q.Full() {
+		t.Fatal("Full() false at capacity")
+	}
+	q.Pop(5)
+	if q.Full() {
+		t.Fatal("Full() true after pop")
+	}
+	if q.Space() != 1 {
+		t.Fatalf("Space() = %d want 1", q.Space())
+	}
+}
+
+func TestQueueFIFOOrderPreserved(t *testing.T) {
+	q := NewQueue[int](0, 1)
+	// Second item ready earlier than first must still pop after it.
+	q.PushAt(1, 100)
+	q.PushAt(2, 5)
+	if _, ok := q.Pop(50); ok {
+		t.Fatal("head not ready but pop succeeded")
+	}
+	v, _ := q.Pop(100)
+	if v != 1 {
+		t.Fatalf("popped %d first, want 1 (FIFO)", v)
+	}
+	v, ok := q.Pop(100)
+	if !ok || v != 2 {
+		t.Fatalf("popped %d,%v second, want 2", v, ok)
+	}
+}
+
+func TestQueueUnboundedSpace(t *testing.T) {
+	q := NewQueue[int](0, 1)
+	for i := 0; i < 10000; i++ {
+		if !q.Push(i, 0) {
+			t.Fatalf("unbounded queue rejected push %d", i)
+		}
+	}
+	if q.Full() {
+		t.Fatal("unbounded queue reports full")
+	}
+}
+
+func TestQueueRemoveAt(t *testing.T) {
+	q := NewQueue[int](0, 1)
+	for i := 0; i < 5; i++ {
+		q.Push(i, 0)
+	}
+	v, ok := q.RemoveAt(2)
+	if !ok || v != 2 {
+		t.Fatalf("RemoveAt(2) = %d,%v", v, ok)
+	}
+	got := q.All()
+	want := []int{0, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after RemoveAt, All() = %v want %v", got, want)
+		}
+	}
+	if _, ok := q.RemoveAt(99); ok {
+		t.Fatal("RemoveAt out of range succeeded")
+	}
+}
+
+func TestQueueNextReady(t *testing.T) {
+	q := NewQueue[int](0, 1)
+	if q.NextReady() != CycleMax {
+		t.Fatal("empty queue NextReady != CycleMax")
+	}
+	q.PushAt(1, 42)
+	if q.NextReady() != 42 {
+		t.Fatalf("NextReady = %d want 42", q.NextReady())
+	}
+}
+
+// Property: any sequence of pushes pops back in push order, with every
+// pop time >= push time + delay.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(vals []uint8, delay8 uint8) bool {
+		delay := Cycle(delay8%16) + 1
+		q := NewQueue[uint8](0, delay)
+		now := Cycle(0)
+		for _, v := range vals {
+			q.Push(v, now)
+			now++
+		}
+		// Pop everything far in the future; order must match.
+		for i, want := range vals {
+			v, ok := q.Pop(now + 1000)
+			if !ok || v != want {
+				_ = i
+				return false
+			}
+		}
+		_, ok := q.Pop(now + 1000)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(12345), NewRand(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(54321)
+	same := 0
+	a2 := NewRand(12345)
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %f", f)
+		}
+	}
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Every stochastic element of the simulator draws from an
+// explicitly seeded Rand so that runs are exactly reproducible; the
+// global math/rand source is never used.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with the given value.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "container/heap"
+
+// Scheduler runs callbacks at future cycles. Components use it to model
+// fixed latencies (cache lookups, TLB probes, DRAM access time) without
+// each keeping its own timing wheel.
+//
+// Events cluster heavily on the same cycles, so they are stored in
+// per-cycle buckets with a min-heap over the distinct pending cycles —
+// heap traffic scales with distinct deadlines rather than with events,
+// which profiling showed dominating the whole simulator otherwise.
+// Callbacks scheduled for the same cycle run in scheduling order,
+// preserving determinism.
+type Scheduler struct {
+	buckets map[Cycle][]func(Cycle)
+	keys    cycleHeap
+	pending int
+}
+
+type cycleHeap []Cycle
+
+func (h cycleHeap) Len() int           { return len(h) }
+func (h cycleHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h cycleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cycleHeap) Push(x any)        { *h = append(*h, x.(Cycle)) }
+func (h *cycleHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// NewScheduler returns an empty scheduler; register it with the engine.
+func NewScheduler() *Scheduler {
+	return &Scheduler{buckets: make(map[Cycle][]func(Cycle))}
+}
+
+// At schedules fn to run at the given absolute cycle (clamped to run no
+// earlier than the next tick).
+func (s *Scheduler) At(at Cycle, fn func(now Cycle)) {
+	b, ok := s.buckets[at]
+	if !ok {
+		heap.Push(&s.keys, at)
+	}
+	s.buckets[at] = append(b, fn)
+	s.pending++
+}
+
+// After schedules fn to run delay cycles after now (minimum 1).
+func (s *Scheduler) After(now, delay Cycle, fn func(now Cycle)) {
+	if delay < 1 {
+		delay = 1
+	}
+	s.At(now+delay, fn)
+}
+
+// Tick implements Ticker, firing every callback due at or before now.
+func (s *Scheduler) Tick(now Cycle) bool {
+	busy := false
+	for len(s.keys) > 0 && s.keys[0] <= now {
+		at := heap.Pop(&s.keys).(Cycle)
+		// Callbacks may schedule more work for this same cycle while
+		// we drain it; re-reading the bucket each iteration picks
+		// those up in order.
+		for i := 0; i < len(s.buckets[at]); i++ {
+			s.buckets[at][i](now)
+			s.pending--
+			busy = true
+		}
+		delete(s.buckets, at)
+	}
+	return busy
+}
+
+// NextWake implements WakeHinter.
+func (s *Scheduler) NextWake(now Cycle) Cycle {
+	if len(s.keys) == 0 {
+		return CycleMax
+	}
+	return s.keys[0]
+}
+
+// Pending returns the number of scheduled callbacks.
+func (s *Scheduler) Pending() int { return s.pending }

@@ -1,0 +1,9 @@
+package sim
+
+// TickerFunc adapts a plain function to the Ticker interface, mirroring
+// http.HandlerFunc. Handy for small drains and injectors in tests and
+// examples.
+type TickerFunc func(now Cycle) bool
+
+// Tick calls f(now).
+func (f TickerFunc) Tick(now Cycle) bool { return f(now) }

@@ -1,0 +1,96 @@
+package stats
+
+import "netcrafter/internal/sim"
+
+// LinkStats tracks the activity of one network link; utilization is
+// busy flit-slots over elapsed capacity, the quantity Fig 4 reports for
+// the inter-GPU-cluster network.
+type LinkStats struct {
+	Name           string
+	FlitsMoved     Counter
+	BytesMoved     Counter // occupied (useful) bytes, excludes padding
+	SlotBytesMoved Counter // flit slots x flit size (includes padding)
+	StallCycles    Counter // cycles a ready flit could not move
+	flitsPerCycle  int
+	firstActive    sim.Cycle
+	lastActive     sim.Cycle
+	sawActivity    bool
+}
+
+// NewLinkStats creates stats for a link moving up to flitsPerCycle.
+func NewLinkStats(name string, flitsPerCycle int) *LinkStats {
+	return &LinkStats{Name: name, flitsPerCycle: flitsPerCycle}
+}
+
+// RecordMove notes one flit crossing the link at the given cycle.
+func (l *LinkStats) RecordMove(now sim.Cycle, occupiedBytes, slotBytes int) {
+	l.FlitsMoved.Inc()
+	l.BytesMoved.Add(int64(occupiedBytes))
+	l.SlotBytesMoved.Add(int64(slotBytes))
+	if !l.sawActivity || now < l.firstActive {
+		l.firstActive = now
+	}
+	if now > l.lastActive {
+		l.lastActive = now
+	}
+	l.sawActivity = true
+}
+
+// Utilization returns busy slot share over the total run window
+// [0, end]. A link saturated for the whole run reports ~1.0.
+func (l *LinkStats) Utilization(end sim.Cycle) float64 {
+	if end <= 0 || l.flitsPerCycle <= 0 {
+		return 0
+	}
+	capacity := float64(end) * float64(l.flitsPerCycle)
+	return float64(l.FlitsMoved.Value()) / capacity
+}
+
+// NetStats aggregates the traffic picture of the inter-cluster network:
+// per-type flit counts, occupancy classes, stitch/trim activity. It
+// backs Figs 4, 6, 9, 12, 15 and 20.
+type NetStats struct {
+	FlitsByType    *Histogram // ReadReq/ReadRsp/... flit counts
+	BytesByType    *Histogram // useful bytes by type
+	Occupancy      *Histogram // full/pad25/pad75/other flit shares
+	FlitsTotal     Counter
+	FlitsStitched  Counter // flits ejected carrying stitched content
+	ItemsStitched  Counter // candidate items absorbed by stitching
+	FlitsTrimmed   Counter // payload flits avoided by trimming
+	PacketsTrimmed Counter
+	PTWFlits       Counter
+	DataFlits      Counter
+	PooledFlits    Counter // flits that waited on a pooling timer
+	WireBytes      Counter // slot bytes actually ejected on the wire
+	// CtlLatency samples per-flit time spent inside the controller
+	// (cluster queue + pooling buffer), in cycles.
+	CtlLatency Sampler
+}
+
+// NewNetStats returns zeroed network statistics.
+func NewNetStats() *NetStats {
+	return &NetStats{
+		FlitsByType: NewHistogram("ReadReq", "ReadRsp", "WriteReq", "WriteRsp", "PTReq", "PTRsp"),
+		BytesByType: NewHistogram("ReadReq", "ReadRsp", "WriteReq", "WriteRsp", "PTReq", "PTRsp"),
+		Occupancy:   NewHistogram("full", "pad25", "pad75", "other"),
+	}
+}
+
+// StitchRate returns the fraction of ejected flits carrying stitched
+// content (Fig 12).
+func (n *NetStats) StitchRate() float64 {
+	t := n.FlitsTotal.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(n.FlitsStitched.Value()) / float64(t)
+}
+
+// PTWShare returns the PTW fraction of inter-cluster flits (Fig 9).
+func (n *NetStats) PTWShare() float64 {
+	t := n.PTWFlits.Value() + n.DataFlits.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(n.PTWFlits.Value()) / float64(t)
+}

@@ -1,0 +1,177 @@
+// Package stats provides the lightweight metric primitives the
+// simulator components publish into: counters, distributions, and the
+// derived quantities the paper's figures report (network utilization,
+// average latencies, MPKI, flit occupancy shares).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n int64 }
+
+// Add increases the counter by d (d must be non-negative).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("stats: Counter.Add with negative delta")
+	}
+	c.n += d
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Sampler accumulates scalar observations (e.g. latencies) and exposes
+// count/mean/max. It does not retain individual samples.
+type Sampler struct {
+	n    int64
+	sum  float64
+	max  float64
+	min  float64
+	some bool
+}
+
+// Observe records one sample.
+func (s *Sampler) Observe(v float64) {
+	s.n++
+	s.sum += v
+	if !s.some || v > s.max {
+		s.max = v
+	}
+	if !s.some || v < s.min {
+		s.min = v
+	}
+	s.some = true
+}
+
+// Count returns the number of samples.
+func (s *Sampler) Count() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Sampler) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Sum returns the total of all samples.
+func (s *Sampler) Sum() float64 { return s.sum }
+
+// Max returns the largest sample (0 with no samples).
+func (s *Sampler) Max() float64 { return s.max }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Sampler) Min() float64 {
+	if !s.some {
+		return 0
+	}
+	return s.min
+}
+
+// Histogram is a bucketed distribution over named categories.
+type Histogram struct {
+	buckets map[string]int64
+	order   []string
+}
+
+// NewHistogram returns a histogram with the given bucket order (extra
+// buckets observed later are appended).
+func NewHistogram(buckets ...string) *Histogram {
+	h := &Histogram{buckets: make(map[string]int64)}
+	for _, b := range buckets {
+		h.buckets[b] = 0
+		h.order = append(h.order, b)
+	}
+	return h
+}
+
+// Observe adds n to the named bucket.
+func (h *Histogram) Observe(bucket string, n int64) {
+	if _, ok := h.buckets[bucket]; !ok {
+		h.order = append(h.order, bucket)
+	}
+	h.buckets[bucket] += n
+}
+
+// Get returns the count in a bucket.
+func (h *Histogram) Get(bucket string) int64 { return h.buckets[bucket] }
+
+// Total returns the sum over all buckets.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, v := range h.buckets {
+		t += v
+	}
+	return t
+}
+
+// Share returns bucket/total in [0,1] (0 when empty).
+func (h *Histogram) Share(bucket string) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.buckets[bucket]) / float64(t)
+}
+
+// Buckets returns bucket names in observation order.
+func (h *Histogram) Buckets() []string { return h.order }
+
+// String renders "name=count" pairs for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, name := range h.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, h.buckets[name])
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of xs, the standard aggregate for
+// normalized speedups. Zero and negative entries are rejected.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SortedKeys returns the keys of m in sorted order; helper for
+// deterministic report printing.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,116 @@
+// Package trace is a flight recorder for wire-level events on the
+// inter-cluster network: every flit ejection and every trim/stitch
+// decision can be streamed to a writer as JSON lines for offline
+// inspection or visualization. Recording is optional and costs nothing
+// when disabled.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/sim"
+)
+
+// Kind labels a recorded event.
+type Kind string
+
+// Event kinds.
+const (
+	KindEject    Kind = "eject"    // flit left a controller onto the inter-cluster wire
+	KindStitch   Kind = "stitch"   // a candidate was stitched into a parent
+	KindTrim     Kind = "trim"     // a packet was trimmed
+	KindPool     Kind = "pool"     // a flit entered the pooling buffer
+	KindUnstitch Kind = "unstitch" // a stitched flit was split at ingress
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle    int64  `json:"cycle"`
+	Kind     Kind   `json:"kind"`
+	Where    string `json:"where"`
+	PacketID uint64 `json:"pkt,omitempty"`
+	Type     string `json:"type,omitempty"`
+	Seq      int    `json:"seq,omitempty"`
+	Used     int    `json:"used,omitempty"`
+	Stitched int    `json:"stitched,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Recorder sinks events. A nil *Recorder is valid and records nothing,
+// so call sites need no conditionals.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int64
+}
+
+// NewRecorder streams JSON-line events to w.
+func NewRecorder(w io.Writer) *Recorder {
+	bw := bufio.NewWriter(w)
+	return &Recorder{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record sinks one event.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	_ = r.enc.Encode(e)
+}
+
+// Events returns how many events were recorded.
+func (r *Recorder) Events() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Flush drains buffered output; call before reading the destination.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Flush()
+}
+
+// FlitEvent builds an Event describing a flit at a location.
+func FlitEvent(kind Kind, where string, now sim.Cycle, f *flit.Flit) Event {
+	return Event{
+		Cycle:    int64(now),
+		Kind:     kind,
+		Where:    where,
+		PacketID: f.Pkt.ID,
+		Type:     f.Pkt.Type.String(),
+		Seq:      f.Seq,
+		Used:     f.Used,
+		Stitched: len(f.Stitched),
+	}
+}
+
+// Read parses a JSON-lines trace back into events (for analysis tools
+// and tests).
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"netcrafter/internal/flit"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindEject})
+	if r.Events() != 0 {
+		t.Fatal("nil recorder counted events")
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndReadBack(t *testing.T) {
+	var buf strings.Builder
+	r := NewRecorder(&buf)
+	p := &flit.Packet{ID: 7, Type: flit.ReadRsp}
+	f := flit.Segment(p, 16)[4]
+	r.Record(FlitEvent(KindEject, "nc0", 123, f))
+	r.Record(Event{Cycle: 124, Kind: KindTrim, Where: "nc0", PacketID: 7, Detail: "5->2 flits"})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Events() != 2 {
+		t.Fatalf("events = %d", r.Events())
+	}
+	evs, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("read %d events", len(evs))
+	}
+	if evs[0].Kind != KindEject || evs[0].Cycle != 123 || evs[0].PacketID != 7 || evs[0].Seq != 4 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Detail != "5->2 flits" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package vm
+
+import (
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// PTEReader performs the memory accesses of a page table walk. The GPU
+// layer implements it: local PTEs go through the local L2/DRAM, remote
+// PTEs become PTReq/PTRsp packets over the inter-GPU network.
+type PTEReader interface {
+	// ReadPTE reads the 8-byte entry at addr; done fires exactly once.
+	// It reports false when the reader cannot accept the request now.
+	ReadPTE(addr uint64, now sim.Cycle, done func(at sim.Cycle)) bool
+}
+
+// GMMUConfig describes the GPU memory management unit (Table 2:
+// 16 shared walkers, 32-entry fully associative PWC, 10-cycle lookup).
+type GMMUConfig struct {
+	Walkers    int
+	PWCEntries int
+	PWCLatency sim.Cycle
+}
+
+// DefaultGMMUConfig returns the paper's GMMU parameters.
+func DefaultGMMUConfig() GMMUConfig {
+	return GMMUConfig{Walkers: 16, PWCEntries: 32, PWCLatency: 10}
+}
+
+// GMMUStats counts walker activity.
+type GMMUStats struct {
+	Walks        stats.Counter
+	WalkAccesses stats.Counter // PTE memory reads issued
+	PWCHits      stats.Counter // levels skipped thanks to the PWC
+	Merged       stats.Counter // translations merged onto an in-flight walk
+	WalkLatency  stats.Sampler
+}
+
+// pwc is the page walk cache: a small fully-associative cache over
+// upper-level page table prefixes. A hit at depth d lets the walker
+// skip the first d+1 accesses.
+type pwc struct {
+	entries map[pwcKey]uint64 // prefix -> node address of NEXT level
+	order   []pwcKey          // FIFO-ish LRU approximation
+	max     int
+	tickVal uint64
+	last    map[pwcKey]uint64
+}
+
+type pwcKey struct {
+	level  int // level of the node whose address is cached (1..3)
+	prefix uint64
+}
+
+func newPWC(entries int) *pwc {
+	return &pwc{
+		entries: make(map[pwcKey]uint64),
+		last:    make(map[pwcKey]uint64),
+		max:     entries,
+	}
+}
+
+func (p *pwc) insert(k pwcKey, nodeAddr uint64) {
+	p.tickVal++
+	if _, ok := p.entries[k]; !ok && len(p.entries) >= p.max {
+		// Evict the least recently used key.
+		var victim pwcKey
+		var oldest uint64 = ^uint64(0)
+		for key := range p.entries {
+			if p.last[key] < oldest {
+				oldest = p.last[key]
+				victim = key
+			}
+		}
+		delete(p.entries, victim)
+		delete(p.last, victim)
+	}
+	p.entries[k] = nodeAddr
+	p.last[k] = p.tickVal
+}
+
+func (p *pwc) lookup(k pwcKey) (uint64, bool) {
+	v, ok := p.entries[k]
+	if ok {
+		p.tickVal++
+		p.last[k] = p.tickVal
+	}
+	return v, ok
+}
+
+// prefixOf returns the VPN prefix identifying the node at the given
+// level (level 1 = child of root).
+func prefixOf(vpn uint64, level int) uint64 {
+	return vpn >> uint(BitsPerLevel*(Levels-level))
+}
+
+// GMMU performs page table walks with a bounded pool of parallel
+// walkers, accelerated by the page walk cache. It implements
+// Translator so the L2 TLB can sit directly on top of it.
+type GMMU struct {
+	Name  string
+	cfg   GMMUConfig
+	pt    *PageTable
+	pwc   *pwc
+	mem   PTEReader
+	sched *sim.Scheduler
+	Stats GMMUStats
+
+	active  int
+	waiting []*walkReq
+	// merge tracks in-flight walks so duplicate VPNs share one walk.
+	merge map[uint64][]func(uint64, sim.Cycle)
+}
+
+type walkReq struct {
+	vpn  uint64
+	done func(uint64, sim.Cycle)
+	at   sim.Cycle
+}
+
+// NewGMMU creates a GMMU over the given page table and PTE reader.
+func NewGMMU(name string, cfg GMMUConfig, pt *PageTable, mem PTEReader, sched *sim.Scheduler) *GMMU {
+	if cfg.Walkers <= 0 {
+		panic("vm: GMMU needs at least one walker")
+	}
+	return &GMMU{
+		Name:  name,
+		cfg:   cfg,
+		pt:    pt,
+		pwc:   newPWC(cfg.PWCEntries),
+		mem:   mem,
+		sched: sched,
+		merge: make(map[uint64][]func(uint64, sim.Cycle)),
+	}
+}
+
+// Translate implements Translator. Requests beyond the walker pool are
+// queued internally, so it always accepts.
+func (g *GMMU) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) bool {
+	if cbs, inflight := g.merge[vpn]; inflight {
+		g.merge[vpn] = append(cbs, done)
+		g.Stats.Merged.Inc()
+		return true
+	}
+	g.merge[vpn] = nil
+	req := &walkReq{vpn: vpn, done: done, at: now}
+	if g.active >= g.cfg.Walkers {
+		g.waiting = append(g.waiting, req)
+		return true
+	}
+	g.startWalk(req, now)
+	return true
+}
+
+func (g *GMMU) startWalk(req *walkReq, now sim.Cycle) {
+	g.active++
+	g.Stats.Walks.Inc()
+	start := now
+	// PWC probe costs its lookup latency, then the remaining levels
+	// are read from memory serially.
+	g.sched.After(now, g.cfg.PWCLatency, func(at sim.Cycle) {
+		steps, base, ok := g.pt.Walk(req.vpn)
+		if !ok {
+			panic("vm: page fault — walk of unmapped VPN (loader must premap)")
+		}
+		// Longest cached prefix: if the node of level L is cached we
+		// can start the walk at level L (skipping reads of levels
+		// 0..L-1).
+		first := 0
+		for level := Levels - 1; level >= 1; level-- {
+			if _, hit := g.pwc.lookup(pwcKey{level: level, prefix: prefixOf(req.vpn, level)}); hit {
+				first = level
+				break
+			}
+		}
+		g.Stats.PWCHits.Add(int64(first))
+		g.runSteps(req, steps, first, base, start, at)
+	})
+}
+
+// runSteps issues the PTE reads of steps[idx:] serially, then completes
+// the walk.
+func (g *GMMU) runSteps(req *walkReq, steps []WalkStep, idx int, base uint64, start, now sim.Cycle) {
+	if idx >= len(steps) {
+		g.finishWalk(req, steps, base, start, now)
+		return
+	}
+	ok := g.mem.ReadPTE(steps[idx].Addr, now, func(at sim.Cycle) {
+		g.runSteps(req, steps, idx+1, base, start, at)
+	})
+	if !ok {
+		// Memory path busy; retry shortly without advancing.
+		g.sched.After(now, 4, func(at sim.Cycle) {
+			g.runSteps(req, steps, idx, base, start, at)
+		})
+		return
+	}
+	g.Stats.WalkAccesses.Inc()
+}
+
+func (g *GMMU) finishWalk(req *walkReq, steps []WalkStep, base uint64, start, now sim.Cycle) {
+	// Install discovered node addresses into the PWC (levels 1..3).
+	for _, st := range steps[1:] {
+		g.pwc.insert(pwcKey{level: st.Level, prefix: prefixOf(req.vpn, st.Level)}, st.NodeAddr)
+	}
+	g.Stats.WalkLatency.Observe(float64(now - start))
+	cbs := g.merge[req.vpn]
+	delete(g.merge, req.vpn)
+	req.done(base, now)
+	for _, cb := range cbs {
+		cb(base, now)
+	}
+	g.active--
+	if len(g.waiting) > 0 {
+		next := g.waiting[0]
+		g.waiting = g.waiting[1:]
+		g.startWalk(next, now)
+	}
+}
+
+// ActiveWalks returns the number of walks currently using a walker.
+func (g *GMMU) ActiveWalks() int { return g.active }
+
+// QueuedWalks returns the number of walks waiting for a free walker.
+func (g *GMMU) QueuedWalks() int { return len(g.waiting) }

@@ -1,0 +1,199 @@
+package vm
+
+import (
+	"netcrafter/internal/cache"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/stats"
+)
+
+// Translator is anything that can resolve a VPN to a physical page base
+// asynchronously: a TLB level or the GMMU itself.
+type Translator interface {
+	// Translate requests a translation; done fires exactly once. It
+	// reports false when the component cannot accept the request this
+	// cycle (caller retries).
+	Translate(vpn uint64, now sim.Cycle, done func(physBase uint64, at sim.Cycle)) bool
+}
+
+// tlbArray is the associative storage of a TLB.
+type tlbArray struct {
+	sets [][]tlbEntry
+	ways int
+	tick uint64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	base  uint64
+	valid bool
+	last  uint64
+}
+
+func newTLBArray(entries, ways int) *tlbArray {
+	if ways <= 0 || entries%ways != 0 {
+		panic("vm: TLB entries must divide evenly into ways")
+	}
+	sets := make([][]tlbEntry, entries/ways)
+	for i := range sets {
+		sets[i] = make([]tlbEntry, ways)
+	}
+	return &tlbArray{sets: sets, ways: ways}
+}
+
+func (a *tlbArray) set(vpn uint64) []tlbEntry {
+	return a.sets[vpn%uint64(len(a.sets))]
+}
+
+func (a *tlbArray) lookup(vpn uint64) (uint64, bool) {
+	a.tick++
+	set := a.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].last = a.tick
+			return set[i].base, true
+		}
+	}
+	return 0, false
+}
+
+func (a *tlbArray) insert(vpn, base uint64) {
+	a.tick++
+	set := a.set(vpn)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].base = base
+			set[i].last = a.tick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].last < set[victim].last {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{vpn: vpn, base: base, valid: true, last: a.tick}
+}
+
+func (a *tlbArray) invalidateAll() {
+	for si := range a.sets {
+		for wi := range a.sets[si] {
+			a.sets[si][wi] = tlbEntry{}
+		}
+	}
+}
+
+// TLBConfig describes one TLB level.
+type TLBConfig struct {
+	Entries int
+	Ways    int // == Entries for fully associative
+	Latency sim.Cycle
+	MSHRs   int
+}
+
+// L1TLBConfig returns the per-CU L1 TLB parameters (Table 2).
+func L1TLBConfig() TLBConfig { return TLBConfig{Entries: 32, Ways: 32, Latency: 1, MSHRs: 8} }
+
+// L2TLBConfig returns the per-GPU shared L2 TLB parameters (Table 2).
+func L2TLBConfig() TLBConfig { return TLBConfig{Entries: 512, Ways: 8, Latency: 10, MSHRs: 64} }
+
+// TLBStats counts TLB activity.
+type TLBStats struct {
+	Accesses stats.Counter
+	Hits     stats.Counter
+	Misses   stats.Counter
+	Stalls   stats.Counter
+}
+
+// TLB is a timed translation cache backed by a lower Translator.
+type TLB struct {
+	Name  string
+	cfg   TLBConfig
+	arr   *tlbArray
+	mshr  *cache.MSHR[func(uint64, sim.Cycle)]
+	below Translator
+	sched *sim.Scheduler
+	Stats TLBStats
+}
+
+// NewTLB builds a TLB that resolves misses through below, scheduling
+// its lookup latency on sched.
+func NewTLB(name string, cfg TLBConfig, below Translator, sched *sim.Scheduler) *TLB {
+	return &TLB{
+		Name:  name,
+		cfg:   cfg,
+		arr:   newTLBArray(cfg.Entries, cfg.Ways),
+		mshr:  cache.NewMSHR[func(uint64, sim.Cycle)](cfg.MSHRs),
+		below: below,
+		sched: sched,
+	}
+}
+
+// Translate implements Translator.
+func (t *TLB) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) bool {
+	// Reject up front if a new primary miss could not be tracked; a
+	// merged or hit request is always acceptable, but we cannot know
+	// which until after the (latent) lookup, so be conservative only
+	// when the MSHR file is truly full and the line is not pending.
+	if t.mshr.Full() && !t.mshr.Pending(vpn) {
+		t.Stats.Stalls.Inc()
+		return false
+	}
+	t.Stats.Accesses.Inc()
+	t.sched.After(now, t.cfg.Latency, func(at sim.Cycle) {
+		if base, ok := t.arr.lookup(vpn); ok {
+			t.Stats.Hits.Inc()
+			done(base, at)
+			return
+		}
+		t.Stats.Misses.Inc()
+		switch t.mshr.Allocate(vpn, 1, done) {
+		case cache.Merged:
+			return
+		case cache.Stalled:
+			// Race: filled up since the pre-check. Retry shortly.
+			t.Stats.Stalls.Inc()
+			t.retry(vpn, at, done)
+			return
+		}
+		t.issueBelow(vpn, at)
+	})
+	return true
+}
+
+func (t *TLB) retry(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) {
+	t.sched.After(now, 4, func(at sim.Cycle) {
+		if !t.Translate(vpn, at, done) {
+			t.retry(vpn, at, done)
+		}
+	})
+}
+
+func (t *TLB) issueBelow(vpn uint64, now sim.Cycle) {
+	ok := t.below.Translate(vpn, now, func(base uint64, at sim.Cycle) {
+		t.arr.insert(vpn, base)
+		waiters, _, _ := t.mshr.Release(vpn)
+		for _, w := range waiters {
+			w(base, at)
+		}
+	})
+	if !ok {
+		t.sched.After(now, 4, func(at sim.Cycle) { t.issueBelow(vpn, at) })
+	}
+}
+
+// Insert pre-populates a translation (used when a walk completes at the
+// GMMU, which fills both TLB levels per Section 2.3).
+func (t *TLB) Insert(vpn, base uint64) { t.arr.insert(vpn, base) }
+
+// InvalidateAll flushes the TLB (kernel boundary).
+func (t *TLB) InvalidateAll() { t.arr.invalidateAll() }
+
+// HitRate returns hits/accesses.
+func (t *TLB) HitRate() float64 {
+	a := t.Stats.Accesses.Value()
+	if a == 0 {
+		return 0
+	}
+	return float64(t.Stats.Hits.Value()) / float64(a)
+}

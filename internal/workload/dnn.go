@@ -1,0 +1,126 @@
+package workload
+
+import "netcrafter/internal/sim"
+
+// Data-parallel DNN training workloads (Table 3: VGG16, LENET,
+// RESNET18 from DNN-Mark). Each model is a sequence of layers; every
+// training step runs forward and backward passes as kernels. Under
+// data parallelism each GPU holds a full weight replica and its own
+// activation shard; after the backward pass the weight gradients are
+// synchronized across GPUs, which the generator models as streaming
+// reads of the (interleaved) gradient buffers of the other replicas —
+// the inter-GPU traffic burst that makes DNN training network-bound.
+//
+// The paper trains VGG16/RESNET18 on Tiny-ImageNet-200 and LENET on
+// MNIST; dataset content is irrelevant to traffic shape, so activations
+// are synthetic and layer dimensions are scaled by Scale.DataKB.
+
+// layer describes one layer's relative memory weight.
+type layer struct {
+	name    string
+	actFrac float64 // share of activation footprint
+	wFrac   float64 // share of weight footprint
+	compute int     // compute cycles per instruction (conv >> fc)
+}
+
+type dnnModel struct {
+	name   string
+	suite  string
+	layers []layer
+}
+
+func vgg16() dnnModel {
+	ls := []layer{
+		{"conv1", 0.25, 0.01, 120},
+		{"conv2", 0.25, 0.03, 120},
+		{"conv3", 0.20, 0.08, 100},
+		{"conv4", 0.15, 0.18, 100},
+		{"conv5", 0.10, 0.30, 80},
+		{"fc", 0.05, 0.40, 40},
+	}
+	return dnnModel{name: "VGG16", suite: "DNN-Mark", layers: ls}
+}
+
+func lenet() dnnModel {
+	ls := []layer{
+		{"conv1", 0.40, 0.10, 80},
+		{"conv2", 0.30, 0.25, 80},
+		{"fc1", 0.20, 0.45, 30},
+		{"fc2", 0.10, 0.20, 30},
+	}
+	return dnnModel{name: "LENET", suite: "DNN-Mark", layers: ls}
+}
+
+func resnet18() dnnModel {
+	ls := []layer{
+		{"stem", 0.20, 0.02, 110},
+		{"block1", 0.25, 0.08, 110},
+		{"block2", 0.25, 0.15, 100},
+		{"block3", 0.18, 0.30, 90},
+		{"block4", 0.10, 0.40, 90},
+		{"fc", 0.02, 0.05, 40},
+	}
+	return dnnModel{name: "RNET18", suite: "DNN-Mark", layers: ls}
+}
+
+func init() {
+	register("VGG16", func(sc Scale) *Spec { return buildDNN(vgg16(), sc) })
+	register("LENET", func(sc Scale) *Spec { return buildDNN(lenet(), sc) })
+	register("RNET18", func(sc Scale) *Spec { return buildDNN(resnet18(), sc) })
+}
+
+func buildDNN(m dnnModel, sc Scale) *Spec {
+	rb := newRegionBuilder()
+	actTotal := kb(sc, 0.6)
+	wTotal := kb(sc, 0.4)
+	type lregions struct{ act, w, grad Region }
+	regs := make([]lregions, len(m.layers))
+	for i, l := range m.layers {
+		// Activations are produced and consumed by local CTAs
+		// (partitioned); weights are replicated conceptually but the
+		// master copy pages are interleaved; gradients are interleaved
+		// because every GPU reads every other GPU's shard during
+		// synchronization.
+		regs[i] = lregions{
+			act:  rb.add(l.name+".act", uint64(float64(actTotal)*l.actFrac)+64<<10, PlacePartitioned),
+			w:    rb.add(l.name+".w", uint64(float64(wTotal)*l.wFrac)+64<<10, PlaceInterleaved),
+			grad: rb.add(l.name+".grad", uint64(float64(wTotal)*l.wFrac)+64<<10, PlaceInterleaved),
+		}
+	}
+	steps := sc.Steps
+	var kernels []Kernel
+	for i, l := range m.layers {
+		i, l := i, l
+		fwd := Kernel{
+			Name: l.name + ".fwd", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+			NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+				as, aspan := sliceOf(regs[i].act, cta, sc.CTAs)
+				return interleave(
+					newStream(regs[i].act, as, aspan, 2, steps, l.compute, false),
+					newStream(regs[i].w, uint64(cta)*2048%regs[i].w.Bytes, regs[i].w.Bytes/4, 1, steps, l.compute, false),
+					newStream(regs[i].act, as, aspan, 1, steps/2+1, l.compute, true),
+				)
+			},
+		}
+		bwd := Kernel{
+			Name: l.name + ".bwd", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+			NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+				as, aspan := sliceOf(regs[i].act, cta, sc.CTAs)
+				gs, gspan := sliceOf(regs[i].grad, cta, sc.CTAs)
+				// Weight-gradient production plus the allreduce
+				// read/accumulate of remote shards: interleaved
+				// placement makes 3/4 of this remote on 4 GPUs, and
+				// the synchronization phase is bandwidth- not
+				// compute-bound.
+				sync := l.compute / 4
+				return interleave(
+					newStream(regs[i].act, as, aspan, 2, steps, l.compute, false),
+					newStream(regs[i].grad, gs, gspan, 2, steps, sync, true),
+					newStream(regs[i].grad, (gs+regs[i].grad.Bytes/2)%regs[i].grad.Bytes, gspan, 2, steps, sync, false),
+				)
+			},
+		}
+		kernels = append(kernels, fwd, bwd)
+	}
+	return &Spec{Name: m.name, Pattern: "-", Suite: m.suite, Regions: rb.regions, Kernels: kernels}
+}

@@ -1,0 +1,305 @@
+package workload
+
+import "netcrafter/internal/sim"
+
+// The twelve classic workloads of Table 3. Each builder derives its
+// footprint from Scale.DataKB and its instruction counts from
+// Scale.Steps, keeping the published access-pattern class:
+//
+//	Random:      GUPS, MIS, SPMV, PR
+//	Gather:      MT, MM2, SR
+//	Adjacent:    IM2COL, SYR2K
+//	Partitioned: BS
+//	Scatter:     ATAX, MVT (scatter+gather)
+
+func kb(sc Scale, frac float64) uint64 {
+	b := uint64(float64(sc.DataKB)*frac) << 10
+	if b < 64<<10 {
+		b = 64 << 10
+	}
+	return b
+}
+
+func init() {
+	register("GUPS", buildGUPS)
+	register("MT", buildMT)
+	register("MIS", buildMIS)
+	register("IM2COL", buildIM2COL)
+	register("ATAX", buildATAX)
+	register("BS", buildBS)
+	register("MM2", buildMM2)
+	register("MVT", buildMVT)
+	register("SPMV", buildSPMV)
+	register("PR", buildPR)
+	register("SR", buildSR)
+	register("SYR2K", buildSYR2K)
+}
+
+// GUPS — giant random 8-byte gathers over a shared table with sparse
+// updates. Nearly every access is a distinct line needing 8 bytes: the
+// flagship trimming beneficiary.
+func buildGUPS(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	table := rb.add("table", kb(sc, 1.0), PlaceInterleaved)
+	k := Kernel{
+		Name: "update", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			return interleave(
+				newRandom(table, rng, 8, 10, sc.Steps, 20, false),
+				newRandom(table, rng, 8, 2, sc.Steps, 20, true),
+			)
+		},
+	}
+	return &Spec{Name: "GUPS", Pattern: "Random", Suite: "MGPUSim", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// MT — matrix transpose: gather 4-byte column reads, streaming row
+// writes.
+func buildMT(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	in := rb.add("in", kb(sc, 0.5), PlaceInterleaved)
+	out := rb.add("out", kb(sc, 0.5), PlacePartitioned)
+	rowBytes := uint64(4096)
+	k := Kernel{
+		Name: "transpose", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			start, span := sliceOf(out, cta, sc.CTAs)
+			return interleave(
+				newGather(in, rowBytes, 4, 16, sc.Steps, 8, false, true),
+				newStream(out, start, span, 1, sc.Steps, 8, true),
+			)
+		},
+	}
+	return &Spec{Name: "MT", Pattern: "Gather", Suite: "AMDAPPSDK", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// MIS — maximal independent set: contiguous adjacency-list scans mixed
+// with random 4-byte flag probes of neighbor state.
+func buildMIS(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	adj := rb.add("adjacency", kb(sc, 0.6), PlacePartitioned)
+	flags := rb.add("flags", kb(sc, 0.4), PlaceInterleaved)
+	k := Kernel{
+		Name: "select", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			start, span := sliceOf(adj, cta, sc.CTAs)
+			return interleave(
+				newStream(adj, start, span, 1, sc.Steps, 15, false),
+				newRandom(flags, rng, 4, 8, sc.Steps, 15, false),
+				newRandom(flags, rng, 24, 2, sc.Steps, 15, false),
+				newRandom(flags, rng, 4, 2, sc.Steps/2+1, 15, true),
+			)
+		},
+	}
+	return &Spec{Name: "MIS", Pattern: "Random", Suite: "Pannotia", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// IM2COL — image-to-column reshaping: adjacent full-line streaming
+// reads with full-line streaming writes.
+func buildIM2COL(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	img := rb.add("image", kb(sc, 0.4), PlacePartitioned)
+	col := rb.add("columns", kb(sc, 0.6), PlacePartitioned)
+	k := Kernel{
+		Name: "im2col", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			is, ispan := sliceOf(img, cta, sc.CTAs)
+			os, ospan := sliceOf(col, cta, sc.CTAs)
+			return interleave(
+				newStream(img, is, ispan, 2, sc.Steps, 25, false),
+				newStream(col, os, ospan, 3, sc.Steps, 25, true),
+			)
+		},
+	}
+	return &Spec{Name: "IM2COL", Pattern: "Adjacent", Suite: "DNN-Mark", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// ATAX — A^T (A x): row-streaming reads of A with scattered strided
+// writes into the result vector.
+func buildATAX(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	a := rb.add("A", kb(sc, 0.8), PlacePartitioned)
+	y := rb.add("y", kb(sc, 0.2), PlaceInterleaved)
+	k := Kernel{
+		Name: "atax", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			start, span := sliceOf(a, cta, sc.CTAs)
+			return interleave(
+				newStream(a, start, span, 3, sc.Steps, 20, false),
+				newScatter(y, 2048, 8, 8, sc.Steps, 20),
+			)
+		},
+	}
+	return &Spec{Name: "ATAX", Pattern: "Scatter", Suite: "Polybench", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// BS — Black-Scholes: perfectly partitioned streaming over per-thread
+// option data; compute heavy, nearly all local after LASP.
+func buildBS(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	opts := rb.add("options", kb(sc, 0.7), PlacePartitioned)
+	out := rb.add("prices", kb(sc, 0.3), PlacePartitioned)
+	k := Kernel{
+		Name: "price", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			is, ispan := sliceOf(opts, cta, sc.CTAs)
+			os, ospan := sliceOf(out, cta, sc.CTAs)
+			return interleave(
+				newStream(opts, is, ispan, 5, sc.Steps, 150, false),
+				newStream(out, os, ospan, 2, sc.Steps, 150, true),
+			)
+		},
+	}
+	return &Spec{Name: "BS", Pattern: "Partitioned", Suite: "AMDAPPSDK", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// MM2 — two chained dense GEMMs: column sweeps over the CTA's local
+// tile of A (the sub-line spatial reuse that makes GEMM sensitive to
+// sector/trim granularity, Fig 17), single-visit 16-byte gathers of the
+// shared B tiles across GPUs, and streaming writes of C.
+func buildMM2(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	a := rb.add("A", kb(sc, 0.35), PlacePartitioned)
+	bm := rb.add("B", kb(sc, 0.35), PlaceInterleaved)
+	cm := rb.add("C", kb(sc, 0.3), PlacePartitioned)
+	mk := func(name string) Kernel {
+		return Kernel{
+			Name: name, CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+			NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+				cs, cspan := sliceOf(cm, cta, sc.CTAs)
+				// The A sweep stays within the CTA's slice so its
+				// sector misses are local; offset rows by the slice.
+				aSlice, _ := sliceOf(a, cta, sc.CTAs)
+				aSweep := newGather(a, 2048, 4, 6, sc.Steps, 45, false, true)
+				aSweep.rowBlock = aSlice / 2048
+				return interleave(
+					aSweep,
+					newGather(bm, 2048, 16, 4, sc.Steps, 45, false, false),
+					newStream(cm, cs, cspan, 1, sc.Steps/2+1, 45, true),
+				)
+			},
+		}
+	}
+	return &Spec{Name: "MM2", Pattern: "Gather", Suite: "Polybench",
+		Regions: rb.regions, Kernels: []Kernel{mk("gemm1"), mk("gemm2")}}
+}
+
+// MVT — matrix-vector product and transpose: one gather phase and one
+// scatter phase.
+func buildMVT(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	a := rb.add("A", kb(sc, 0.7), PlacePartitioned)
+	x := rb.add("x", kb(sc, 0.15), PlaceInterleaved)
+	y := rb.add("y", kb(sc, 0.15), PlaceInterleaved)
+	k := Kernel{
+		Name: "mvt", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			as, aspan := sliceOf(a, cta, sc.CTAs)
+			return chain(
+				interleave(
+					newStream(a, as, aspan, 3, sc.Steps/2+1, 25, false),
+					newGather(x, 1024, 8, 6, sc.Steps/2+1, 25, false, false),
+				),
+				interleave(
+					newStream(a, as, aspan, 3, sc.Steps/2+1, 25, false),
+					newScatter(y, 1024, 8, 6, sc.Steps/2+1, 25),
+				),
+			)
+		},
+	}
+	return &Spec{Name: "MVT", Pattern: "Scatter,Gather", Suite: "Polybench", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// SPMV — CSR sparse matrix-vector: contiguous index/value streams plus
+// random 8-byte gathers of the dense vector.
+func buildSPMV(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	vals := rb.add("values", kb(sc, 0.5), PlacePartitioned)
+	vec := rb.add("x", kb(sc, 0.5), PlaceInterleaved)
+	k := Kernel{
+		Name: "spmv", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			vs, vspan := sliceOf(vals, cta, sc.CTAs)
+			return interleave(
+				newStream(vals, vs, vspan, 1, sc.Steps, 15, false),
+				newRandom(vec, rng, 8, 8, sc.Steps, 15, false),
+				newRandom(vec, rng, 32, 2, sc.Steps, 15, false),
+			)
+		},
+	}
+	return &Spec{Name: "SPMV", Pattern: "Random", Suite: "SHOC", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// PR — PageRank: contiguous edge-list scans, cold random reads of
+// remote ranks, and a hot, heavily revisited working set of the
+// partition's own high-degree vertices. The hot local reuse is why the
+// paper's 16B sector cache degrades PR (Fig 14) while NetCrafter's
+// inter-cluster-only trimming does not touch it.
+func buildPR(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	edges := rb.add("edges", kb(sc, 0.5), PlacePartitioned)
+	local := rb.add("localRanks", kb(sc, 0.3), PlacePartitioned)
+	remote := rb.add("remoteRanks", kb(sc, 0.2), PlaceInterleaved)
+	k := Kernel{
+		Name: "rank", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			es, espan := sliceOf(edges, cta, sc.CTAs)
+			ls, lspan := sliceOf(local, cta, sc.CTAs)
+			hot := lspan / 8 // high-degree vertices: tight reuse
+			if hot < LineBytes {
+				hot = LineBytes
+			}
+			return interleave(
+				newStream(edges, es, espan, 2, sc.Steps, 12, false),
+				newRandomSlice(local, rng, 8, 6, sc.Steps, 12, false, ls, hot),
+				newRandom(remote, rng, 8, 4, sc.Steps, 12, false),
+				newRandom(remote, rng, 32, 1, sc.Steps/2+1, 12, false),
+				newRandomSlice(local, rng, 8, 2, sc.Steps/2+1, 12, true, ls, hot),
+			)
+		},
+	}
+	return &Spec{Name: "PR", Pattern: "Random", Suite: "Hetero-Mark", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// SR — SHOC reduction: full-line streaming reads collapsing into a
+// small strided write set (the gather label of Table 3 comes from the
+// tree step reading partial sums across CTAs).
+func buildSR(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	in := rb.add("input", kb(sc, 0.9), PlacePartitioned)
+	partial := rb.add("partials", kb(sc, 0.1), PlaceInterleaved)
+	k := Kernel{
+		Name: "reduce", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			is, ispan := sliceOf(in, cta, sc.CTAs)
+			return chain(
+				newStream(in, is, ispan, 4, sc.Steps, 18, false),
+				newGather(partial, 512, 8, 6, sc.Steps/3+1, 18, false, false),
+				newScatter(partial, 512, 8, 2, sc.Steps/3+1, 18),
+			)
+		},
+	}
+	return &Spec{Name: "SR", Pattern: "Gather", Suite: "SHOC", Regions: rb.regions, Kernels: []Kernel{k}}
+}
+
+// SYR2K — symmetric rank-2k update: dense adjacent streaming over two
+// inputs and the output, full-line usage throughout.
+func buildSYR2K(sc Scale) *Spec {
+	rb := newRegionBuilder()
+	a := rb.add("A", kb(sc, 0.3), PlacePartitioned)
+	b := rb.add("B", kb(sc, 0.3), PlaceInterleaved)
+	cm := rb.add("C", kb(sc, 0.4), PlacePartitioned)
+	k := Kernel{
+		Name: "syr2k", CTAs: sc.CTAs, WavesPerCTA: sc.WavesPerCTA, Partitioned: true,
+		NewProgram: func(cta, wave int, rng *sim.Rand) Program {
+			as, aspan := sliceOf(a, cta, sc.CTAs)
+			cs, cspan := sliceOf(cm, cta, sc.CTAs)
+			return interleave(
+				newStream(a, as, aspan, 2, sc.Steps, 35, false),
+				newStream(b, uint64(cta)*4096%b.Bytes, b.Bytes/4, 2, sc.Steps, 35, false),
+				newStream(cm, cs, cspan, 2, sc.Steps, 35, true),
+			)
+		},
+	}
+	return &Spec{Name: "SYR2K", Pattern: "Adjacent", Suite: "Polybench", Regions: rb.regions, Kernels: []Kernel{k}}
+}

@@ -1,0 +1,164 @@
+// Package netcrafter is the public API of the NetCrafter reproduction:
+// a cycle-level simulator of a non-uniform bandwidth multi-GPU node
+// (ISCA'25, Fatima et al.) together with the paper's contribution — the
+// NetCrafter controller that reduces and manages the traffic crossing
+// the lower-bandwidth inter-GPU-cluster network by Stitching, Trimming
+// and Sequencing flits.
+//
+// Quick start:
+//
+//	result, err := netcrafter.Run(netcrafter.WithNetCrafter(), "GUPS", netcrafter.Small())
+//	baseline, _ := netcrafter.Run(netcrafter.Baseline(), "GUPS", netcrafter.Small())
+//	fmt.Printf("speedup: %.2fx\n", result.Speedup(baseline))
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// through Experiment / RunExperiment; see EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package netcrafter
+
+import (
+	"io"
+
+	"netcrafter/internal/bench"
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/core"
+	"netcrafter/internal/flit"
+	"netcrafter/internal/gpu"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/trace"
+	"netcrafter/internal/workload"
+)
+
+// Config describes a full system instance: GPU count and clustering,
+// link bandwidths, switch parameters, GPU microarchitecture, and the
+// NetCrafter controller configuration.
+type Config = cluster.Config
+
+// ControllerConfig holds the NetCrafter mechanism knobs (stitching,
+// trimming, sequencing, flit pooling).
+type ControllerConfig = core.Config
+
+// SequencingMode selects the controller's priority policy.
+type SequencingMode = core.SequencingMode
+
+// Sequencing modes.
+const (
+	SeqOff       = core.SeqOff
+	SeqPTW       = core.SeqPTW
+	SeqDataEqual = core.SeqDataEqual
+)
+
+// StitchScope selects the stitch engine's candidate search breadth.
+type StitchScope = core.StitchScope
+
+// Stitch scopes.
+const (
+	ScopeAllPartitions = core.ScopeAllPartitions
+	ScopeSamePartition = core.ScopeSamePartition
+)
+
+// FetchMode selects the L1 miss fetch granularity (full line vs the
+// sector-cache comparison baseline).
+type FetchMode = gpu.FetchMode
+
+// Fetch modes.
+const (
+	FetchFullLine = gpu.FetchFullLine
+	FetchSector   = gpu.FetchSector
+)
+
+// Result is everything a workload run measured: cycles, cache and
+// network statistics, latencies, and the derived metrics the paper
+// reports (speedup, MPKI, utilization).
+type Result = cluster.Result
+
+// Scale sizes a workload instance.
+type Scale = workload.Scale
+
+// Cycle is a point in simulated time (1 GHz cycles).
+type Cycle = sim.Cycle
+
+// System is a built multi-GPU node; construct with NewSystem for
+// fine-grained control, or use Run for the common case.
+type System = cluster.System
+
+// Baseline returns the paper's Table-2 non-uniform system with the
+// NetCrafter controller disabled (a passthrough FIFO).
+func Baseline() Config { return cluster.Baseline() }
+
+// Ideal returns the all-high-bandwidth configuration of Fig 3.
+func Ideal() Config { return cluster.Ideal() }
+
+// WithNetCrafter returns the baseline system with the paper's final
+// NetCrafter design: Stitching + 32-cycle Selective Flit Pooling,
+// Trimming, and PTW Sequencing.
+func WithNetCrafter() Config { return cluster.WithNetCrafter() }
+
+// ControllerBaseline returns the paper's final controller design (used
+// to enable NetCrafter on a custom system Config).
+func ControllerBaseline() ControllerConfig { return core.Baseline() }
+
+// ControllerOff returns a passthrough controller configuration.
+func ControllerOff() ControllerConfig { return core.Passthrough() }
+
+// Tiny, Small and Medium are the workload scale presets (unit tests,
+// benchmarks, full figure regeneration).
+func Tiny() Scale   { return workload.Tiny() }
+func Small() Scale  { return workload.Small() }
+func Medium() Scale { return workload.Medium() }
+
+// Workloads lists the fifteen Table-3 applications.
+func Workloads() []string { return workload.Names() }
+
+// NewSystem builds a system for repeated or incremental use.
+func NewSystem(cfg Config) *System { return cluster.New(cfg) }
+
+// Run builds a fresh system with cfg and executes the named workload
+// at the given scale. A generous default cycle limit is applied.
+func Run(cfg Config, name string, sc Scale) (*Result, error) {
+	return cluster.RunOne(cfg, name, sc, 500_000_000)
+}
+
+// RunWithLimit is Run with an explicit cycle budget.
+func RunWithLimit(cfg Config, name string, sc Scale, limit Cycle) (*Result, error) {
+	return cluster.RunOne(cfg, name, sc, limit)
+}
+
+// RunOnSystem executes one workload on an already-built system — use
+// when attaching a trace recorder or running several workloads on one
+// instance.
+func RunOnSystem(sys *System, name string, sc Scale, limit Cycle) (*Result, error) {
+	spec, err := workload.ByName(name, sc)
+	if err != nil {
+		return nil, err
+	}
+	return sys.RunWorkload(spec, limit)
+}
+
+// TraceRecorder streams wire-level controller events as JSON lines;
+// attach one with System.AttachTrace.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder creates a recorder writing to w.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return trace.NewRecorder(w) }
+
+// Report is a regenerated table or figure.
+type Report = bench.Report
+
+// ExperimentOptions controls experiment regeneration.
+type ExperimentOptions = bench.Options
+
+// Experiments lists the regenerable paper artifacts (table1..3,
+// fig3..fig22).
+func Experiments() []string { return bench.IDs() }
+
+// RunExperiment regenerates one paper artifact.
+func RunExperiment(id string, opt ExperimentOptions) (*Report, error) {
+	return bench.Run(id, opt)
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row = flit.Table1Row
+
+// Table1 returns the flit categorization for a flit size (16 = paper).
+func Table1(flitBytes int) []Table1Row { return flit.Table1(flitBytes) }
