@@ -1,0 +1,24 @@
+# Development targets. `make ci` is the full gate: vet, build, and the
+# test suite under the race detector (the observability layer is
+# concurrency-safe by contract, so races are release blockers).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/obs/ ./...

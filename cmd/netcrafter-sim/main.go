@@ -6,6 +6,12 @@
 //	netcrafter-sim [-workload GUPS] [-config baseline|ideal|netcrafter|sector]
 //	               [-scale tiny|small|medium] [-inter 16] [-intra 128]
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
+//	               [-trace FILE] [-spans FILE] [-metrics FILE]
+//
+// -spans streams one JSON line per finished packet span to FILE and
+// prints the per-stage latency breakdown table; -metrics writes a
+// Prometheus-style snapshot of the metrics registry to FILE after the
+// run ("-" writes either to stdout).
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 		list   = flag.Bool("list", false, "list workloads and exit")
 		verb   = flag.Bool("v", false, "verbose per-type traffic breakdown")
 		traceF = flag.String("trace", "", "write a JSON-lines wire trace to this file")
+		spansF = flag.String("spans", "", "write packet lifecycle spans (JSONL) to this file ('-' = stdout) and print the latency breakdown")
+		metF   = flag.String("metrics", "", "write a Prometheus-style metrics snapshot to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -77,13 +85,23 @@ func main() {
 		rec = netcrafter.NewTraceRecorder(f)
 		defer rec.Flush()
 	}
+	var reg *netcrafter.MetricsRegistry
+	if *metF != "" {
+		reg = netcrafter.NewMetricsRegistry()
+	}
+	var spans *netcrafter.SpanRecorder
+	if *spansF != "" {
+		spans = netcrafter.NewSpanRecorder(outFile(*spansF))
+		defer spans.Flush()
+	}
 
 	for _, name := range names {
 		var res *netcrafter.Result
 		var err error
-		if rec != nil {
+		if rec != nil || reg != nil || spans != nil {
 			sys := netcrafter.NewSystem(cfg)
 			sys.AttachTrace(rec)
+			sys.AttachObs(reg, spans)
 			res, err = netcrafter.RunOnSystem(sys, name, sc, 500_000_000)
 		} else {
 			res, err = netcrafter.Run(cfg, name, sc)
@@ -96,6 +114,33 @@ func main() {
 	if rec != nil {
 		fmt.Printf("trace: %d events written to %s\n", rec.Events(), *traceF)
 	}
+	if spans != nil {
+		if err := spans.Flush(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nspans: %d recorded (%s)\n%s", spans.Spans(), *spansF, spans.Breakdown().Table())
+	}
+	if reg != nil {
+		if err := reg.WriteProm(outFile(*metF)); err != nil {
+			fail(err)
+		}
+		if *metF != "-" {
+			fmt.Printf("metrics: snapshot written to %s\n", *metF)
+		}
+	}
+}
+
+// outFile opens path for writing; "-" means stdout. Files stay open
+// until process exit (the OS closes them; this is a one-shot CLI).
+func outFile(path string) *os.File {
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	return f
 }
 
 func pickConfig(sel string) (netcrafter.Config, error) {

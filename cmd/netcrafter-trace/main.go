@@ -1,12 +1,17 @@
 // Command netcrafter-trace summarizes a JSON-lines wire trace produced
 // by netcrafter-sim -trace: event counts by kind and packet type, the
 // stitch/trim activity timeline, and inter-cluster throughput per
-// window.
+// window. With -breakdown it instead reads a packet span stream
+// (netcrafter-sim -spans) and prints the per-stage latency table
+// (mean/p99 cycles per packet type).
 //
 // Usage:
 //
 //	netcrafter-sim -workload GUPS -trace /tmp/t.jsonl
 //	netcrafter-trace -in /tmp/t.jsonl [-window 1000]
+//
+//	netcrafter-sim -workload GUPS -spans /tmp/s.jsonl
+//	netcrafter-trace -in /tmp/s.jsonl -breakdown
 package main
 
 import (
@@ -15,17 +20,23 @@ import (
 	"os"
 	"sort"
 
+	"netcrafter/internal/obs"
 	"netcrafter/internal/trace"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "trace file to analyze (required)")
-		window = flag.Int64("window", 1000, "cycles per throughput window")
+		in        = flag.String("in", "", "trace file to analyze (required)")
+		window    = flag.Int64("window", 1000, "cycles per throughput window")
+		breakdown = flag.Bool("breakdown", false, "treat the input as a span stream and print the per-stage latency table")
 	)
 	flag.Parse()
 	if *in == "" {
 		fail(fmt.Errorf("-in is required"))
+	}
+	if *breakdown {
+		printBreakdown(*in)
+		return
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -103,6 +114,37 @@ func main() {
 			}
 			fmt.Printf("  %8d  %6d %s\n", k**window, buckets[k], bar)
 		}
+	}
+}
+
+// printBreakdown reads a JSONL span stream and prints the per-stage
+// latency breakdown. It also cross-checks the tiling invariant: every
+// span's per-stage cycles must sum to its end-to-end latency.
+func printBreakdown(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadSpans(f)
+	if err != nil {
+		fail(err)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no spans in input")
+		return
+	}
+	b := obs.NewBreakdown()
+	mismatches := 0
+	for i := range recs {
+		b.Add(recs[i])
+		if recs[i].StageSum() != recs[i].Total() {
+			mismatches++
+		}
+	}
+	fmt.Printf("spans: %d\n%s", len(recs), b.Table())
+	if mismatches > 0 {
+		fmt.Printf("WARNING: %d spans whose stage sums do not match end-to-end latency\n", mismatches)
 	}
 }
 

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+
+	"netcrafter/internal/obs"
+	"netcrafter/internal/sim"
+)
+
+// obsWireWindow is the window of the per-controller ejected-bytes time
+// series: coarse enough to keep a long run's series small, fine enough
+// to show phase behaviour.
+const obsWireWindow sim.Cycle = 1024
+
+// AttachObs wires the whole system into the metrics registry and the
+// span recorder. Either argument may be nil (a nil registry yields nil
+// instruments; a nil recorder leaves packet spans off), so callers can
+// enable metrics and spans independently. Call before running a
+// workload; attaching mid-run only affects what happens afterwards.
+//
+// The registry receives, per GPU, the latency histograms and pull
+// gauges of gpu.GPU.AttachObs; per controller, a residency histogram
+// (ncN.ctl_latency_cycles), a wire-bytes time series (ncN.wire_bytes)
+// and pull gauges over the controller's NetStats counters; and per
+// inter-cluster link direction, overall and active-window utilization
+// pull gauges.
+func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder) {
+	for _, g := range s.GPUs {
+		g.AttachObs(reg, spans)
+	}
+	for _, ctl := range s.Controllers {
+		ctl := ctl
+		p := ctl.Name + "."
+		ctl.ObsCtlLat = reg.Hist(p + "ctl_latency_cycles")
+		ctl.ObsWire = reg.Series(p+"wire_bytes", obsWireWindow)
+		reg.GaugeFunc(p+"flits_total", func() float64 { return float64(ctl.Net.FlitsTotal.Value()) })
+		reg.GaugeFunc(p+"flits_stitched", func() float64 { return float64(ctl.Net.FlitsStitched.Value()) })
+		reg.GaugeFunc(p+"items_stitched", func() float64 { return float64(ctl.Net.ItemsStitched.Value()) })
+		reg.GaugeFunc(p+"flits_trimmed", func() float64 { return float64(ctl.Net.FlitsTrimmed.Value()) })
+		reg.GaugeFunc(p+"packets_trimmed", func() float64 { return float64(ctl.Net.PacketsTrimmed.Value()) })
+		reg.GaugeFunc(p+"pooled_flits", func() float64 { return float64(ctl.Net.PooledFlits.Value()) })
+		reg.GaugeFunc(p+"ptw_flits", func() float64 { return float64(ctl.Net.PTWFlits.Value()) })
+		reg.GaugeFunc(p+"data_flits", func() float64 { return float64(ctl.Net.DataFlits.Value()) })
+		reg.GaugeFunc(p+"wire_bytes_total", func() float64 { return float64(ctl.Net.WireBytes.Value()) })
+		reg.GaugeFunc(p+"queued_flits", func() float64 { return float64(ctl.QueuedFlits()) })
+	}
+	for i, l := range s.InterLinks {
+		l := l
+		p := fmt.Sprintf("inter%d.", i)
+		reg.GaugeFunc(p+"util_a2b", func() float64 { return l.AtoB.Utilization(s.Engine.Now()) })
+		reg.GaugeFunc(p+"util_b2a", func() float64 { return l.BtoA.Utilization(s.Engine.Now()) })
+		reg.GaugeFunc(p+"active_util_a2b", func() float64 { return l.AtoB.ActiveUtilization() })
+		reg.GaugeFunc(p+"active_util_b2a", func() float64 { return l.BtoA.ActiveUtilization() })
+	}
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"netcrafter/internal/obs"
+	"netcrafter/internal/workload"
+)
+
+// TestSpansTileEndToEnd is the observability acceptance check: a real
+// workload run with spans attached must produce spans whose per-stage
+// latencies sum exactly to the end-to-end latency, with response trace
+// ids linking back to their requests, and a populated registry.
+func TestSpansTileEndToEnd(t *testing.T) {
+	var buf strings.Builder
+	sys := New(WithNetCrafter())
+	reg := obs.NewRegistry()
+	rec := obs.NewSpanRecorder(&buf)
+	sys.AttachObs(reg, rec)
+
+	spec, err := workload.ByName("GUPS", workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWorkload(spec, testLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ReadSpans(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("run produced no spans")
+	}
+	if int64(len(recs)) != rec.Spans() {
+		t.Fatalf("stream has %d spans, recorder counted %d", len(recs), rec.Spans())
+	}
+
+	reqTraces := map[uint64]bool{}
+	for i := range recs {
+		r := &recs[i]
+		if r.StageSum() != r.Total() {
+			t.Fatalf("span %d (%s): stage sum %d != end-to-end %d: %+v",
+				r.Pkt, r.Type, r.StageSum(), r.Total(), r.Stages)
+		}
+		if r.End < r.Start {
+			t.Fatalf("span %d ends before it starts: %+v", r.Pkt, r)
+		}
+		switch r.Type {
+		case "ReadReq", "WriteReq", "PTReq":
+			reqTraces[r.Trace] = true
+		}
+	}
+	responses := 0
+	for i := range recs {
+		r := &recs[i]
+		switch r.Type {
+		case "ReadRsp", "WriteRsp", "PTRsp":
+			responses++
+			if !reqTraces[r.Trace] {
+				t.Fatalf("response %d carries trace id %d with no matching request", r.Pkt, r.Trace)
+			}
+		}
+	}
+	if responses == 0 {
+		t.Fatal("no response spans recorded")
+	}
+
+	// The breakdown aggregation and the registry must both have data.
+	b := rec.Breakdown()
+	if len(b.Types()) == 0 || b.Spans("ReadReq") == 0 {
+		t.Fatalf("breakdown empty: types=%v", b.Types())
+	}
+	if reg.Hist("nc0.ctl_latency_cycles").Count() == 0 {
+		t.Fatal("controller residency histogram empty")
+	}
+	if len(reg.Snapshot()) == 0 {
+		t.Fatal("registry snapshot empty")
+	}
+}
+
+// TestAttachObsNilIsFree verifies a run with observability detached
+// behaves identically (determinism guard for the nil-span hot path).
+func TestAttachObsNilIsFree(t *testing.T) {
+	run := func(attach bool) *Result {
+		sys := New(WithNetCrafter())
+		if attach {
+			sys.AttachObs(nil, nil)
+		}
+		spec, err := workload.ByName("GUPS", workload.Tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.RunWorkload(spec, testLimit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(false), run(true)
+	if a.Cycles != b.Cycles || a.Net.FlitsTotal.Value() != b.Net.FlitsTotal.Value() {
+		t.Fatalf("nil observability changed the run: %d/%d vs %d/%d cycles/flits",
+			a.Cycles, a.Net.FlitsTotal.Value(), b.Cycles, b.Net.FlitsTotal.Value())
+	}
+}

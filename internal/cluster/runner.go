@@ -45,6 +45,10 @@ type Result struct {
 	// InterUtilization is the mean utilization of the inter-cluster
 	// link (both directions), the Fig-4 quantity.
 	InterUtilization float64
+	// InterActiveUtilization is the same share measured only over each
+	// direction's active window (first..last flit moved), excluding
+	// warm-up and drain idle cycles.
+	InterActiveUtilization float64
 	// InterReadLatency / IntraReadLatency are mean remote read
 	// latencies in cycles (Figs 5, 15).
 	InterReadLatency float64
@@ -161,11 +165,13 @@ func (s *System) collect(name string, cycles sim.Cycle) *Result {
 		}
 	}
 	if cycles > 0 && len(s.InterLinks) > 0 {
-		var u float64
+		var u, au float64
 		for _, l := range s.InterLinks {
 			u += (l.AtoB.Utilization(s.Engine.Now()) + l.BtoA.Utilization(s.Engine.Now())) / 2
+			au += (l.AtoB.ActiveUtilization() + l.BtoA.ActiveUtilization()) / 2
 		}
 		r.InterUtilization = u / float64(len(s.InterLinks))
+		r.InterActiveUtilization = au / float64(len(s.InterLinks))
 	}
 	return r
 }

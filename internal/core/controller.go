@@ -5,6 +5,7 @@ import (
 
 	"netcrafter/internal/flit"
 	"netcrafter/internal/network"
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 	"netcrafter/internal/trace"
@@ -99,6 +100,12 @@ type Controller struct {
 	// Trace, when non-nil, records wire-level events (ejections,
 	// stitches, trims, pooling) as JSON lines.
 	Trace *trace.Recorder
+	// ObsCtlLat, when non-nil, feeds per-flit controller residency
+	// (cluster queue + pooling) into the metrics registry; ObsWire
+	// samples ejected wire bytes into a cycle-windowed series. Both are
+	// wired by cluster.System.AttachObs and free when nil.
+	ObsCtlLat *obs.Hist
+	ObsWire   *obs.Series
 
 	home      flit.ClusterID
 	parts     []*partition
@@ -167,8 +174,10 @@ func (c *Controller) tickIngress(now sim.Cycle) bool {
 			c.Trace.Record(trace.FlitEvent(trace.KindUnstitch, c.Name, now, in))
 		}
 		for _, item := range flit.Unstitch(in) {
+			item.Pkt.Span.To(obs.StageDstNet, now)
 			c.Local.Out.Push(item, now)
 		}
+		in.Pkt.Span.To(obs.StageDstNet, now)
 		c.Local.Out.Push(in, now)
 		busy = true
 	}
@@ -276,6 +285,7 @@ func (c *Controller) enqueue(f *flit.Flit, now sim.Cycle) {
 		})
 	}
 	f.CtlArrivedAt = now
+	f.Pkt.Span.To(obs.StageCtlQueue, now)
 	c.parts[idx].q.Push(f, now)
 	c.perDst[f.Pkt.DstCluster]++
 	if f.IsPTW() {
@@ -406,6 +416,7 @@ func (c *Controller) serve(p *partition, now sim.Cycle) bool {
 		if c.stitchInto(parent, p, now) == 0 && c.canPool(p, now) {
 			p.pooledFlit = parent
 			p.poolDeadline = now + c.cfg.PoolingCycles
+			parent.Pkt.Span.To(obs.StagePool, now)
 			c.Net.PooledFlits.Inc()
 			c.Trace.Record(trace.FlitEvent(trace.KindPool, c.Name, now, parent))
 			return false
@@ -421,6 +432,12 @@ func (c *Controller) serve(p *partition, now sim.Cycle) bool {
 func (c *Controller) eject(parent *flit.Flit, now sim.Cycle) {
 	c.perDst[parent.Pkt.DstCluster]--
 	c.Net.CtlLatency.Observe(float64(now - parent.CtlArrivedAt))
+	c.ObsCtlLat.Observe(float64(now - parent.CtlArrivedAt))
+	c.ObsWire.Observe(now, float64(parent.Size))
+	parent.Pkt.Span.To(obs.StageWire, now)
+	for _, it := range parent.Stitched {
+		it.Pkt.Span.To(obs.StageWire, now)
+	}
 	c.recordEjection(parent, now)
 	if !c.Remote.Out.Push(parent, now) {
 		panic("core: remote out overflow after Full check")

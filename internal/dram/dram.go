@@ -5,6 +5,7 @@
 package dram
 
 import (
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 )
@@ -47,6 +48,9 @@ type DRAM struct {
 	Writes    stats.Counter
 	BytesRead stats.Counter
 	BytesWrit stats.Counter
+	// ObsServiceLat, when non-nil, records each request's admission-to-
+	// completion time (bus occupancy wait + fixed access latency).
+	ObsServiceLat *obs.Hist
 }
 
 // New creates a DRAM stack that schedules completions on sched.
@@ -103,6 +107,7 @@ func (d *DRAM) Tick(now sim.Cycle) bool {
 			d.BytesRead.Add(int64(r.Bytes))
 		}
 		endCycle := sim.Cycle((end + bpc - 1) / bpc)
+		d.ObsServiceLat.Observe(float64(endCycle + d.cfg.Latency - 1 - now))
 		done := r.Done
 		d.sched.At(endCycle+d.cfg.Latency-1, func(at sim.Cycle) {
 			if done != nil {

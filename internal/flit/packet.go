@@ -13,6 +13,7 @@ package flit
 import (
 	"fmt"
 
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 )
 
@@ -129,6 +130,19 @@ type Packet struct {
 
 	// CreatedAt is the injection cycle, used for latency accounting.
 	CreatedAt sim.Cycle
+
+	// TraceID links the packets of one logical transaction: a response
+	// inherits the TraceID of the request it answers, so offline span
+	// analysis can reassemble full round trips. It survives
+	// segmentation, stitching and un-stitching because every flit and
+	// stitch item references the originating Packet.
+	TraceID uint64
+
+	// Span, when non-nil, accumulates the packet's per-stage latency
+	// breakdown. Components stamp stage transitions as the packet moves;
+	// a nil Span (observability disabled) makes every stamp a free
+	// no-op.
+	Span *obs.Span
 
 	// Meta carries a higher-layer context (e.g. the memory transaction
 	// a response answers). The wire does not see it.

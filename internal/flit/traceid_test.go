@@ -1,0 +1,66 @@
+package flit
+
+import "testing"
+
+// TestTraceIDSurvivesStitchRoundTrip drives a packet's flits through
+// segmentation, stitching into a parent, un-stitching at the far side
+// and reassembly, checking the trace identity is preserved the whole
+// way: every flit and stitch item references the originating Packet,
+// so the TraceID set at creation never changes.
+func TestTraceIDSurvivesStitchRoundTrip(t *testing.T) {
+	const flitBytes = 32
+
+	parentPkt := &Packet{ID: 100, TraceID: 100, Type: ReadReq, DstCluster: 1}
+	parent := Segment(parentPkt, flitBytes)[0]
+
+	// A whole-packet candidate (WriteRsp fits one flit) and a partial
+	// candidate (the 4-byte tail flit of a 68-byte ReadRsp).
+	wholePkt := &Packet{ID: 200, TraceID: 42, Type: WriteRsp, DstCluster: 1}
+	whole := Segment(wholePkt, flitBytes)[0]
+
+	partialPkt := &Packet{ID: 300, TraceID: 7, Type: ReadRsp, DstCluster: 1}
+	partialFlits := Segment(partialPkt, flitBytes)
+	tail := partialFlits[len(partialFlits)-1]
+
+	for _, cand := range []*Flit{whole, tail} {
+		if !CanStitch(parent, cand) {
+			t.Fatalf("cannot stitch %v into %v", cand.Pkt, parent.Pkt)
+		}
+		Stitch(parent, cand)
+	}
+	if len(parent.Stitched) != 2 {
+		t.Fatalf("stitched %d items, want 2", len(parent.Stitched))
+	}
+	for _, it := range parent.Stitched {
+		if it.Pkt.TraceID != it.Pkt.ID && it.Pkt != wholePkt && it.Pkt != partialPkt {
+			t.Fatalf("stitch item lost packet identity: %+v", it)
+		}
+	}
+
+	out := Unstitch(parent)
+	if len(out) != 2 {
+		t.Fatalf("unstitched %d flits, want 2", len(out))
+	}
+	if out[0].Pkt != wholePkt || out[0].Pkt.TraceID != 42 {
+		t.Fatalf("whole candidate lost trace id: %+v", out[0].Pkt)
+	}
+	if out[1].Pkt != partialPkt || out[1].Pkt.TraceID != 7 {
+		t.Fatalf("partial candidate lost trace id: %+v", out[1].Pkt)
+	}
+	if parent.Pkt.TraceID != 100 {
+		t.Fatalf("parent trace id changed: %d", parent.Pkt.TraceID)
+	}
+
+	// Reassembling the partial packet from its original head flits plus
+	// the un-stitched tail yields the same Packet, trace id intact.
+	r := NewReassembler()
+	var got *Packet
+	for _, f := range append(partialFlits[:len(partialFlits)-1], out[1]) {
+		for _, p := range r.AddFlit(f) {
+			got = p
+		}
+	}
+	if got != partialPkt || got.TraceID != 7 {
+		t.Fatalf("reassembly lost trace id: %+v", got)
+	}
+}

@@ -194,8 +194,10 @@ func (cu *CU) retryRead(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
 // fetch services a primary L1 miss from the home partition.
 func (cu *CU) fetch(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
 	home := cu.gpu.topo.HomeGPU(lineAddr)
+	missLat := cu.gpu.ObsL1MissLat
 	if home == cu.gpu.ID {
 		cu.gpu.Mem.ReadLine(lineAddr, now, func(at sim.Cycle) {
+			missLat.Observe(float64(at - now))
 			cu.fill(lineAddr, false, pr, at)
 		})
 		return
@@ -204,6 +206,7 @@ func (cu *CU) fetch(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
 	// the home returns exactly the needed sectors, otherwise the full
 	// line goes out with trim hints for the NetCrafter controller.
 	cu.gpu.RDMA.ReadRemote(pr.paddr, pr.bytes, now, func(trimmed bool, at sim.Cycle) {
+		missLat.Observe(float64(at - now))
 		cu.fill(lineAddr, trimmed, pr, at)
 	})
 }

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/vm"
 	"netcrafter/internal/workload"
@@ -22,6 +23,11 @@ type GPU struct {
 	GMMU  *vm.GMMU
 	Mem   *MemPartition
 	RDMA  *RDMA
+
+	// ObsL1MissLat, shared by this GPU's CUs, records the miss-to-fill
+	// latency of primary L1 misses (local and remote). Wired by
+	// AttachObs; nil costs nothing.
+	ObsL1MissLat *obs.Hist
 
 	// Work management.
 	queue       []workload.Program // wavefronts awaiting a CU slot
@@ -52,6 +58,32 @@ func New(id int, cfg Config, topo Topology, pt *vm.PageTable, sched *sim.Schedul
 
 // Config returns the GPU configuration (after defaulting).
 func (g *GPU) Config() Config { return g.cfg }
+
+// AttachObs wires this GPU's components into the metrics registry and
+// the span recorder. Either argument may be nil: a nil registry yields
+// nil instruments (free no-ops) and a nil recorder leaves packet spans
+// disabled. Call before Run; attaching mid-run only affects packets and
+// samples produced afterwards.
+func (g *GPU) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder) {
+	g.RDMA.Spans = spans
+	p := g.Name + "."
+	g.ObsL1MissLat = reg.Hist(p + "l1.miss_latency_cycles")
+	g.Mem.ObsReadLat = reg.Hist(p + "mem.read_latency_cycles")
+	g.Mem.DRAM().ObsServiceLat = reg.Hist(p + "dram.service_latency_cycles")
+	g.GMMU.ObsWalkLat = reg.Hist(p + "gmmu.walk_latency_cycles")
+	reg.GaugeFunc(p+"cu.instructions", func() float64 { return float64(g.Instructions()) })
+	reg.GaugeFunc(p+"l1.accesses", func() float64 { return float64(g.L1Accesses()) })
+	reg.GaugeFunc(p+"l1.misses", func() float64 { return float64(g.L1Misses()) })
+	reg.GaugeFunc(p+"mem.l2_hits", func() float64 { return float64(g.Mem.L2Hits.Value()) })
+	reg.GaugeFunc(p+"mem.l2_misses", func() float64 { return float64(g.Mem.L2Misses.Value()) })
+	reg.GaugeFunc(p+"dram.bytes_read", func() float64 { return float64(g.Mem.DRAM().BytesRead.Value()) })
+	reg.GaugeFunc(p+"dram.bytes_written", func() float64 { return float64(g.Mem.DRAM().BytesWrit.Value()) })
+	reg.GaugeFunc(p+"rdma.remote_reads", func() float64 { return float64(g.RDMA.Stats.RemoteReads.Value()) })
+	reg.GaugeFunc(p+"rdma.remote_writes", func() float64 { return float64(g.RDMA.Stats.RemoteWrites.Value()) })
+	reg.GaugeFunc(p+"rdma.served_reads", func() float64 { return float64(g.RDMA.Stats.ServedReads.Value()) })
+	reg.GaugeFunc(p+"gmmu.walks", func() float64 { return float64(g.GMMU.Stats.Walks.Value()) })
+	reg.GaugeFunc(p+"gmmu.pwc_hits", func() float64 { return float64(g.GMMU.Stats.PWCHits.Value()) })
+}
 
 // Tickers returns the engine-driven components of this GPU.
 func (g *GPU) Tickers() []sim.Ticker {

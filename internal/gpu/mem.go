@@ -3,6 +3,7 @@ package gpu
 import (
 	"netcrafter/internal/cache"
 	"netcrafter/internal/dram"
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 )
@@ -28,6 +29,9 @@ type MemPartition struct {
 	L2Hits      stats.Counter
 	L2Misses    stats.Counter
 	DRAMFetches stats.Counter
+	// ObsReadLat, when non-nil, records the accept-to-done latency of
+	// every ReadLine (L2 hit or DRAM fill) into the metrics registry.
+	ObsReadLat *obs.Hist
 }
 
 // NewMemPartition builds the partition; register its DRAM with the
@@ -74,6 +78,13 @@ func (m *MemPartition) lineAddr(paddr uint64) uint64 {
 // contention is modeled as queueing delay on bankFree).
 func (m *MemPartition) ReadLine(paddr uint64, now sim.Cycle, done func(at sim.Cycle)) {
 	m.Reads.Inc()
+	if m.ObsReadLat != nil {
+		inner := done
+		done = func(at sim.Cycle) {
+			m.ObsReadLat.Observe(float64(at - now))
+			inner(at)
+		}
+	}
 	bi := m.bankIdx(paddr)
 	start := now
 	if m.bankFree[bi] > start {

@@ -5,6 +5,7 @@ import (
 
 	"netcrafter/internal/flit"
 	"netcrafter/internal/network"
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 )
@@ -61,6 +62,10 @@ type RDMA struct {
 	// outstandingWrites counts posted remote writes awaiting WriteRsp.
 	outstandingWrites int
 
+	// Spans, when non-nil, opens a lifecycle span on every packet this
+	// engine creates (see cluster.System.AttachObs). Nil costs nothing.
+	Spans *obs.SpanRecorder
+
 	Stats RDMAStats
 }
 
@@ -102,7 +107,7 @@ func (r *RDMA) PendingReads() int { return len(r.pendingReads) + len(r.pendingPT
 
 func (r *RDMA) newPacket(t flit.Type, dst flit.DeviceID, dstGPU int, addr uint64, now sim.Cycle) *flit.Packet {
 	r.nextID++
-	return &flit.Packet{
+	p := &flit.Packet{
 		ID:         uint64(r.gpuID)<<48 | r.nextID,
 		Type:       t,
 		Src:        r.dev,
@@ -112,6 +117,9 @@ func (r *RDMA) newPacket(t flit.Type, dst flit.DeviceID, dstGPU int, addr uint64
 		Addr:       addr,
 		CreatedAt:  now,
 	}
+	p.TraceID = p.ID
+	p.Span = r.Spans.Start(p.ID, p.TraceID, t.String(), int(r.dev), int(dst), now)
+	return p
 }
 
 func (r *RDMA) send(p *flit.Packet, now sim.Cycle) {
@@ -205,6 +213,9 @@ func (r *RDMA) Tick(now sim.Cycle) bool {
 			break
 		}
 		busy = true
+		// The first flit of a packet moves its span into the reassembly
+		// stage; repeat stamps for later flits accumulate there too.
+		f.Pkt.Span.To(obs.StageReassemble, now)
 		for _, p := range r.reasm.AddFlit(f) {
 			r.dispatch(p, now)
 		}
@@ -216,6 +227,7 @@ func (r *RDMA) Tick(now sim.Cycle) bool {
 		}
 		r.sendQ.Pop(now)
 		f.InjectedAt = now
+		f.Pkt.Span.To(obs.StageSrcNet, now)
 		r.Port.Out.Push(f, now)
 		busy = true
 	}
@@ -234,12 +246,16 @@ func (r *RDMA) NextWake(now sim.Cycle) sim.Cycle {
 func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
 	switch p.Type {
 	case flit.ReadReq:
+		p.Span.To(obs.StageMem, now)
 		r.serveRead(p, now)
 	case flit.WriteReq:
+		p.Span.To(obs.StageMem, now)
 		r.serveWrite(p, now)
 	case flit.PTReq:
+		p.Span.To(obs.StageMem, now)
 		r.servePTE(p, now)
 	case flit.ReadRsp:
+		p.Span.End(now)
 		reqID := p.Meta.(uint64)
 		txn := r.pendingReads[reqID]
 		if txn == nil {
@@ -254,11 +270,13 @@ func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
 		}
 		txn.done(p.Trimmed, now)
 	case flit.WriteRsp:
+		p.Span.End(now)
 		r.outstandingWrites--
 		if r.outstandingWrites < 0 {
 			panic("gpu: WriteRsp without outstanding write")
 		}
 	case flit.PTRsp:
+		p.Span.End(now)
 		reqID := p.Meta.(uint64)
 		done := r.pendingPTEs[reqID]
 		if done == nil {
@@ -270,9 +288,13 @@ func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
 }
 
 // newResponse builds a response packet routed back to the requester.
+// The request's span ends here (its memory-service stage closes when
+// the response is created) and the response opens a fresh span carrying
+// the same TraceID, so offline analysis can stitch the round trip back
+// together.
 func (r *RDMA) newResponse(t flit.Type, req *flit.Packet, now sim.Cycle) *flit.Packet {
 	r.nextID++
-	return &flit.Packet{
+	p := &flit.Packet{
 		ID:         uint64(r.gpuID)<<48 | r.nextID,
 		Type:       t,
 		Src:        r.dev,
@@ -283,6 +305,10 @@ func (r *RDMA) newResponse(t flit.Type, req *flit.Packet, now sim.Cycle) *flit.P
 		CreatedAt:  now,
 		Meta:       req.ID,
 	}
+	p.TraceID = req.TraceID
+	req.Span.End(now)
+	p.Span = r.Spans.Start(p.ID, p.TraceID, t.String(), int(r.dev), int(req.Src), now)
+	return p
 }
 
 // serveRead answers a remote GPU's read against the local partition.

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+// The benchmark pair below is the acceptance check for the disabled
+// path: BenchmarkSpanDisabled must report 0 allocs/op (and a few ns),
+// showing that carrying unconditional span stamps on the flit hot path
+// is free when no recorder is attached. BenchmarkSpanEnabled is the
+// comparison point showing what turning spans on costs.
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var rec *SpanRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := rec.Start(uint64(i), uint64(i), "ReadReq", 0, 1, sim.Cycle(i))
+		s.To(StageSrcNet, sim.Cycle(i+2))
+		s.To(StageCtlQueue, sim.Cycle(i+4))
+		s.To(StageWire, sim.Cycle(i+8))
+		s.To(StageReassemble, sim.Cycle(i+12))
+		s.End(sim.Cycle(i + 16))
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	rec := NewSpanRecorder(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := rec.Start(uint64(i), uint64(i), "ReadReq", 0, 1, sim.Cycle(i))
+		s.To(StageSrcNet, sim.Cycle(i+2))
+		s.To(StageCtlQueue, sim.Cycle(i+4))
+		s.To(StageWire, sim.Cycle(i+8))
+		s.To(StageReassemble, sim.Cycle(i+12))
+		s.End(sim.Cycle(i + 16))
+	}
+}
+
+func BenchmarkHistDisabled(b *testing.B) {
+	var h *Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkHistEnabled(b *testing.B) {
+	h := NewRegistry().Hist("bench.hist")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkLogBucketsObserve(b *testing.B) {
+	var lb LogBuckets
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lb.Observe(float64(i & 0xffff))
+	}
+}

@@ -1,0 +1,287 @@
+// Package obs is the simulator's unified observability layer: a metrics
+// Registry of hierarchically named counters, gauges, log-bucketed
+// latency histograms and cycle-windowed time series, plus packet
+// lifecycle spans that attribute a packet's end-to-end latency to the
+// pipeline stages it crossed (injection, intra-cluster network, cluster
+// queue, pooling, inter-cluster wire, reassembly, memory service).
+//
+// Everything here is disabled-by-default and free when disabled: a nil
+// *Registry, *Hist, *Span or *SpanRecorder is valid, records nothing,
+// and performs zero allocations, so component hot paths carry
+// unconditional instrumentation calls without a cost when observability
+// is off. Enabled instruments are safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"netcrafter/internal/sim"
+)
+
+// Counter is a monotonically increasing named count, safe for
+// concurrent use. A nil *Counter records nothing.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a named instantaneous value, safe for concurrent use. A nil
+// *Gauge records nothing.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Value returns the stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+// Registry holds named instruments. Names are hierarchical dot paths
+// ("gpu0.rdma.remote_reads"); the text exporter preserves them. A nil
+// *Registry is valid: every lookup returns a nil instrument, so
+// components can be wired unconditionally.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	gaugeFns  map[string]func() float64
+	hists     map[string]*Hist
+	series    map[string]*Series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Hist),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a pull gauge: f is evaluated at snapshot time.
+// Components expose their existing internal counters this way without
+// touching hot paths.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = f
+}
+
+// Hist returns (creating if needed) the named log-bucketed histogram.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Hist{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Series returns (creating if needed) the named cycle-windowed time
+// series. The window of an existing series is not changed.
+func (r *Registry) Series(name string, window sim.Cycle) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name, window)
+		r.series[name] = s
+	}
+	return s
+}
+
+// Metric is one flattened snapshot entry.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot flattens every instrument into sorted (name, value) pairs.
+// Histograms expand into .count/.mean/.p50/.p90/.p99/.max entries.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Metric
+	for name, c := range r.counters {
+		out = append(out, Metric{name, float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{name, g.Value()})
+	}
+	for name, f := range r.gaugeFns {
+		out = append(out, Metric{name, f()})
+	}
+	for name, h := range r.hists {
+		b := h.snapshot()
+		out = append(out,
+			Metric{name + ".count", float64(b.Count())},
+			Metric{name + ".mean", b.Mean()},
+			Metric{name + ".p50", b.Quantile(0.50)},
+			Metric{name + ".p90", b.Quantile(0.90)},
+			Metric{name + ".p99", b.Quantile(0.99)},
+			Metric{name + ".max", b.Max()},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteProm writes a Prometheus-style text snapshot: one
+// "name value" line per metric, with hierarchy dots mapped to
+// underscores and histogram quantiles rendered as labels.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := sortedKeys(r.counters)
+	gauges := sortedKeys(r.gauges)
+	fns := sortedKeys(r.gaugeFns)
+	hists := sortedKeys(r.hists)
+	series := sortedKeys(r.series)
+	r.mu.Unlock()
+
+	for _, name := range counters {
+		c := r.Counter(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		g := r.Gauge(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range fns {
+		r.mu.Lock()
+		f := r.gaugeFns[name]
+		r.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), f()); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		h := r.Hist(name)
+		b := h.snapshot()
+		p := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_max %g\n%s_sum %g\n%s_count %d\n",
+			p, p, b.Quantile(0.5), p, b.Quantile(0.9), p, b.Quantile(0.99),
+			p, b.Max(), p, b.Sum(), p, b.Count()); err != nil {
+			return err
+		}
+	}
+	for _, name := range series {
+		r.mu.Lock()
+		s := r.series[name]
+		r.mu.Unlock()
+		if err := s.writeProm(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"netcrafter/internal/sim"
+)
+
+// Series is a cycle-windowed time series: observations are bucketed by
+// simulated-time window (now / window), giving per-window sums and
+// counts — the raw material for throughput-over-time plots without
+// retaining individual samples. A nil *Series records nothing.
+type Series struct {
+	name   string
+	window sim.Cycle
+	mu     sync.Mutex
+	sums   []float64
+	counts []int64
+}
+
+// NewSeries creates a series with the given window width in cycles
+// (minimum 1).
+func NewSeries(name string, window sim.Cycle) *Series {
+	if window < 1 {
+		window = 1
+	}
+	return &Series{name: name, window: window}
+}
+
+// Observe adds v to the window containing cycle now.
+func (s *Series) Observe(now sim.Cycle, v float64) {
+	if s == nil {
+		return
+	}
+	idx := int(now / s.window)
+	s.mu.Lock()
+	for len(s.sums) <= idx {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.sums[idx] += v
+	s.counts[idx]++
+	s.mu.Unlock()
+}
+
+// Window returns the window width in cycles (0 for nil).
+func (s *Series) Window() sim.Cycle {
+	if s == nil {
+		return 0
+	}
+	return s.window
+}
+
+// WindowSample is one aggregated window of a series.
+type WindowSample struct {
+	Start sim.Cycle // first cycle of the window
+	Sum   float64
+	Count int64
+}
+
+// Windows returns every non-empty window in time order.
+func (s *Series) Windows() []WindowSample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WindowSample, 0, len(s.sums))
+	for i := range s.sums {
+		if s.counts[i] == 0 {
+			continue
+		}
+		out = append(out, WindowSample{
+			Start: sim.Cycle(i) * s.window,
+			Sum:   s.sums[i],
+			Count: s.counts[i],
+		})
+	}
+	return out
+}
+
+// writeProm renders the series as labeled gauge samples.
+func (s *Series) writeProm(w io.Writer) error {
+	p := promName(s.name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", p); err != nil {
+		return err
+	}
+	for _, ws := range s.Windows() {
+		if _, err := fmt.Fprintf(w, "%s{window_start=\"%d\"} %g\n", p, ws.Start, ws.Sum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

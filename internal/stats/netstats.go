@@ -46,6 +46,25 @@ func (l *LinkStats) Utilization(end sim.Cycle) float64 {
 	return float64(l.FlitsMoved.Value()) / capacity
 }
 
+// ActiveWindow returns the [first, last] cycles the link moved a flit;
+// ok is false when it never did.
+func (l *LinkStats) ActiveWindow() (first, last sim.Cycle, ok bool) {
+	return l.firstActive, l.lastActive, l.sawActivity
+}
+
+// ActiveUtilization returns busy slot share over the link's active
+// window [firstActive, lastActive]. Unlike Utilization, it excludes the
+// warm-up before the first flit and the drain after the last one, so a
+// link saturated whenever traffic existed reports ~1.0 even in a run
+// dominated by compute phases.
+func (l *LinkStats) ActiveUtilization() float64 {
+	if !l.sawActivity || l.flitsPerCycle <= 0 {
+		return 0
+	}
+	window := float64(l.lastActive-l.firstActive+1) * float64(l.flitsPerCycle)
+	return float64(l.FlitsMoved.Value()) / window
+}
+
 // NetStats aggregates the traffic picture of the inter-cluster network:
 // per-type flit counts, occupancy classes, stitch/trim activity. It
 // backs Figs 4, 6, 9, 12, 15 and 20.

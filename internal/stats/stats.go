@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"netcrafter/internal/obs"
 )
 
 // Counter is a monotonically increasing count.
@@ -29,22 +31,23 @@ func (c *Counter) Inc() { c.n++ }
 func (c *Counter) Value() int64 { return c.n }
 
 // Sampler accumulates scalar observations (e.g. latencies) and exposes
-// count/mean/max. It does not retain individual samples.
+// count/mean/min/max plus log-bucketed percentile estimates. It does
+// not retain individual samples: distributions live in obs.LogBuckets,
+// so Mean/Min/Max are exact while Percentile is a bucket-resolution
+// estimate (within 2x). Samples are non-negative; negative observations
+// clamp to 0.
 type Sampler struct {
-	n    int64
-	sum  float64
-	max  float64
+	b    obs.LogBuckets
 	min  float64
 	some bool
 }
 
 // Observe records one sample.
 func (s *Sampler) Observe(v float64) {
-	s.n++
-	s.sum += v
-	if !s.some || v > s.max {
-		s.max = v
+	if v < 0 {
+		v = 0
 	}
+	s.b.Observe(v)
 	if !s.some || v < s.min {
 		s.min = v
 	}
@@ -52,21 +55,16 @@ func (s *Sampler) Observe(v float64) {
 }
 
 // Count returns the number of samples.
-func (s *Sampler) Count() int64 { return s.n }
+func (s *Sampler) Count() int64 { return s.b.Count() }
 
 // Mean returns the sample mean (0 with no samples).
-func (s *Sampler) Mean() float64 {
-	if s.n == 0 {
-		return 0
-	}
-	return s.sum / float64(s.n)
-}
+func (s *Sampler) Mean() float64 { return s.b.Mean() }
 
 // Sum returns the total of all samples.
-func (s *Sampler) Sum() float64 { return s.sum }
+func (s *Sampler) Sum() float64 { return s.b.Sum() }
 
 // Max returns the largest sample (0 with no samples).
-func (s *Sampler) Max() float64 { return s.max }
+func (s *Sampler) Max() float64 { return s.b.Max() }
 
 // Min returns the smallest sample (0 with no samples).
 func (s *Sampler) Min() float64 {
@@ -75,6 +73,20 @@ func (s *Sampler) Min() float64 {
 	}
 	return s.min
 }
+
+// Percentile estimates the q-quantile (q in [0,1]) from the
+// log-bucketed distribution; exact at q=1 (the max).
+func (s *Sampler) Percentile(q float64) float64 { return s.b.Quantile(q) }
+
+// P50 estimates the median.
+func (s *Sampler) P50() float64 { return s.Percentile(0.50) }
+
+// P99 estimates the 99th percentile.
+func (s *Sampler) P99() float64 { return s.Percentile(0.99) }
+
+// Buckets returns a copy of the underlying log-bucketed distribution,
+// for merging into obs aggregates.
+func (s *Sampler) Buckets() obs.LogBuckets { return s.b }
 
 // Histogram is a bucketed distribution over named categories.
 type Histogram struct {

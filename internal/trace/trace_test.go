@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"netcrafter/internal/flit"
@@ -50,4 +52,50 @@ func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(strings.NewReader("{not json")); err == nil {
 		t.Fatal("garbage accepted")
 	}
+}
+
+// TestConcurrentRecorder hammers one recorder from several goroutines;
+// run with -race to verify the locking (the CI target does).
+func TestConcurrentRecorder(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex // strings.Builder is not goroutine-safe on its own
+	r := NewRecorder(lockedWriter{&mu, &buf})
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(Event{Cycle: int64(i), Kind: KindEject, Where: "nc0", PacketID: uint64(w)})
+				_ = r.Events() // concurrent reader
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Events() != workers*per {
+		t.Fatalf("events = %d, want %d", r.Events(), workers*per)
+	}
+	evs, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != workers*per {
+		t.Fatalf("read %d events, want %d", len(evs), workers*per)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

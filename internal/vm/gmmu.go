@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 )
@@ -105,6 +106,9 @@ type GMMU struct {
 	mem   PTEReader
 	sched *sim.Scheduler
 	Stats GMMUStats
+	// ObsWalkLat mirrors Stats.WalkLatency into the metrics registry
+	// when observability is attached; nil costs nothing.
+	ObsWalkLat *obs.Hist
 
 	active  int
 	waiting []*walkReq
@@ -204,6 +208,7 @@ func (g *GMMU) finishWalk(req *walkReq, steps []WalkStep, base uint64, start, no
 		g.pwc.insert(pwcKey{level: st.Level, prefix: prefixOf(req.vpn, st.Level)}, st.NodeAddr)
 	}
 	g.Stats.WalkLatency.Observe(float64(now - start))
+	g.ObsWalkLat.Observe(float64(now - start))
 	cbs := g.merge[req.vpn]
 	delete(g.merge, req.vpn)
 	req.done(base, now)

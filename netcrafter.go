@@ -24,6 +24,7 @@ import (
 	"netcrafter/internal/core"
 	"netcrafter/internal/flit"
 	"netcrafter/internal/gpu"
+	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/trace"
 	"netcrafter/internal/workload"
@@ -141,6 +142,40 @@ type TraceRecorder = trace.Recorder
 
 // NewTraceRecorder creates a recorder writing to w.
 func NewTraceRecorder(w io.Writer) *TraceRecorder { return trace.NewRecorder(w) }
+
+// MetricsRegistry holds named counters, gauges, latency histograms and
+// cycle-windowed time series; attach one with System.AttachObs and
+// export it with Snapshot or WriteProm.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SpanRecorder collects per-packet lifecycle spans: every packet's
+// end-to-end latency attributed to the pipeline stages it crossed.
+// Attach one with System.AttachObs; w may be nil to aggregate without
+// streaming JSONL.
+type SpanRecorder = obs.SpanRecorder
+
+// NewSpanRecorder creates a span recorder (w may be nil).
+func NewSpanRecorder(w io.Writer) *SpanRecorder { return obs.NewSpanRecorder(w) }
+
+// LatencyBreakdown is the per-type, per-stage aggregation of finished
+// spans; obtain one from SpanRecorder.Breakdown.
+type LatencyBreakdown = obs.Breakdown
+
+// SpanRecord is the JSONL export schema of one finished span.
+type SpanRecord = obs.SpanRecord
+
+// ReadSpans parses a JSONL span stream (lines of other kinds are
+// skipped, so a mixed trace file works too).
+func ReadSpans(r io.Reader) ([]SpanRecord, error) { return obs.ReadSpans(r) }
+
+// MetricsReport renders a registry snapshot as a Report table.
+func MetricsReport(reg *MetricsRegistry) *Report { return bench.MetricsReport(reg) }
+
+// BreakdownReport renders a latency breakdown as a Report table.
+func BreakdownReport(b *LatencyBreakdown) *Report { return bench.BreakdownReport(b) }
 
 // Report is a regenerated table or figure.
 type Report = bench.Report
