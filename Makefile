@@ -1,12 +1,17 @@
-# Development targets. `make ci` is the full gate: vet, build, and the
-# test suite under the race detector (the observability layer is
-# concurrency-safe by contract, so races are release blockers).
+# Development targets. `make ci` is the full gate: formatting, vet,
+# build, the test suite under the race detector (the observability layer
+# is concurrency-safe by contract, so races are release blockers), and a
+# short fuzz of the topology spec parser.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci fmt vet build test race bench fuzz-smoke topo-dot
 
-ci: vet build race
+ci: fmt vet build race fuzz-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +27,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/obs/ ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
+
+# Render the 8-GPU / 4-cluster preset as Graphviz dot on stdout
+# (pipe through `dot -Tsvg` to visualize).
+topo-dot:
+	$(GO) run ./cmd/netcrafter-sim -topo frontier-8x4 -dot -

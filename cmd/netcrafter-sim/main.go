@@ -5,8 +5,14 @@
 //
 //	netcrafter-sim [-workload GUPS] [-config baseline|ideal|netcrafter|sector]
 //	               [-scale tiny|small|medium] [-inter 16] [-intra 128]
+//	               [-topo preset|spec.json] [-topo-list] [-dot FILE]
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
+//
+// -topo replaces the default 4-GPU/2-cluster fabric with a named preset
+// (see -topo-list) or a JSON topology spec file; link bandwidths then
+// come from the graph, so -inter/-intra do not apply. -dot renders the
+// selected topology as Graphviz dot to FILE ("-" = stdout) and exits.
 //
 // -spans streams one JSON line per finished packet span to FILE and
 // prints the per-stage latency breakdown table; -metrics writes a
@@ -28,8 +34,11 @@ func main() {
 		wl     = flag.String("workload", "GUPS", "workload name or 'all' (see -list)")
 		cfgSel = flag.String("config", "netcrafter", "baseline | ideal | netcrafter | sector")
 		scale  = flag.String("scale", "small", "tiny | small | medium")
-		inter  = flag.Int("inter", 0, "override inter-cluster GB/s")
-		intra  = flag.Int("intra", 0, "override intra-cluster GB/s")
+		inter  = flag.Int("inter", 0, "override inter-cluster GB/s (ignored with -topo)")
+		intra  = flag.Int("intra", 0, "override intra-cluster GB/s (ignored with -topo)")
+		topoF  = flag.String("topo", "", "topology preset name or JSON spec file (see -topo-list)")
+		topoL  = flag.Bool("topo-list", false, "list topology presets and exit")
+		dotF   = flag.String("dot", "", "write the -topo graph as Graphviz dot to this file ('-' = stdout) and exit")
 		pool   = flag.Int("pool", -1, "override Flit Pooling window (cycles)")
 		flitSz = flag.Int("flit", 0, "override flit size in bytes (8 or 16)")
 		seed   = flag.Uint64("seed", 1, "workload seed")
@@ -45,10 +54,30 @@ func main() {
 		fmt.Println(strings.Join(netcrafter.Workloads(), "\n"))
 		return
 	}
+	if *topoL {
+		fmt.Println(strings.Join(netcrafter.TopologyPresets(), "\n"))
+		return
+	}
 
 	cfg, err := pickConfig(*cfgSel)
 	if err != nil {
 		fail(err)
+	}
+	if *topoF != "" {
+		g, err := netcrafter.LoadTopology(*topoF)
+		if err != nil {
+			fail(err)
+		}
+		cfg = cfg.WithTopology(g)
+	}
+	if *dotF != "" {
+		if cfg.Topo == nil {
+			fail(fmt.Errorf("-dot needs -topo"))
+		}
+		if _, err := outFile(*dotF).WriteString(cfg.Topo.DOT()); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if *inter > 0 {
 		cfg.InterGBps = *inter

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22",
-		"ext-trimwrites", "ext-scaling", "ext-placement",
+		"ext-trimwrites", "ext-scaling", "ext-placement", "ext-toposcale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -279,5 +279,28 @@ func TestReportChart(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "########") || !strings.Contains(out, "max 2.000") {
 		t.Fatalf("chart rendering wrong:\n%s", out)
+	}
+}
+
+// TestTopoScaleBytesShrink pins the topology-scaling acceptance: on the
+// largest swept fabric (8 GPUs, 4 clusters, non-uniform links),
+// NetCrafter must move fewer inter-cluster wire bytes than the
+// passthrough baseline.
+func TestTopoScaleBytesShrink(t *testing.T) {
+	sc := workload.Tiny()
+	sc.CTAs = 16
+	rep, err := Run("ext-toposcale", Options{Scale: sc, Workloads: []string{"GUPS"}, Limit: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, ok := rep.Value("8gpu-4cl", "nc-bytes-ratio")
+	if !ok {
+		t.Fatalf("no 8gpu-4cl row in %v", rep.Rows)
+	}
+	if ratio >= 1 {
+		t.Fatalf("NetCrafter did not cut inter-cluster bytes at 8x4: ratio %.3f", ratio)
+	}
+	if sp, ok := rep.Value("8gpu-4cl", "nc-speedup"); !ok || sp <= 0 {
+		t.Fatalf("degenerate nc-speedup %v (ok=%v)", sp, ok)
 	}
 }

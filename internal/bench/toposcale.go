@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/topo"
+)
+
+// ext-toposcale exercises the declarative topology subsystem end to
+// end: the same FrontierNode fabric at growing GPU and cluster counts,
+// with uniform (every link at the intra rate) and non-uniform links,
+// reporting how much of the uniform fabric's performance NetCrafter
+// recovers and how much inter-cluster wire traffic it removes.
+
+func init() {
+	register(Experiment{ID: "ext-toposcale", Title: "Topology scaling: uniform vs non-uniform fabrics with NetCrafter", Run: extTopoScale})
+}
+
+// topoScaleCombos are the fabric shapes swept (GPUs x clusters).
+var topoScaleCombos = []struct {
+	label          string
+	gpus, clusters int
+}{
+	{"2gpu-2cl", 2, 2},
+	{"4gpu-2cl", 4, 2},
+	{"4gpu-4cl", 4, 4},
+	{"8gpu-2cl", 8, 2},
+	{"8gpu-4cl", 8, 4},
+}
+
+// Bandwidths in flits/cycle at 16-byte flits: 8 = 128 GB/s intra,
+// 1 = 16 GB/s inter (Table 2).
+const (
+	topoScaleIntraBW = 8
+	topoScaleInterBW = 1
+)
+
+// extTopoScale reports, per fabric shape, GMEANs over the workload
+// suite of: the uniform fabric's speedup over the non-uniform baseline
+// (the gap NetCrafter can close), NetCrafter's speedup over that
+// baseline, and NetCrafter's inter-cluster wire-byte ratio (< 1 means
+// stitching/trimming removed traffic).
+func extTopoScale(opt Options) (*Report, error) {
+	rep := &Report{ID: "ext-toposcale", Title: "Fabric scaling sweep (GMEAN over workloads)",
+		Columns: []string{"ideal-speedup", "nc-speedup", "nc-bytes-ratio"},
+		Notes:   "extension: NetCrafter keeps cutting inter-cluster bytes as fabrics grow"}
+	for _, combo := range topoScaleCombos {
+		nonUniform := topo.FrontierNode(combo.gpus, combo.clusters, topoScaleIntraBW, topoScaleInterBW, 1)
+		uniform := topo.FrontierNode(combo.gpus, combo.clusters, topoScaleIntraBW, topoScaleIntraBW, 1)
+
+		base, err := runSuite(cluster.Baseline().WithTopology(nonUniform), opt)
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := runSuite(cluster.Baseline().WithTopology(uniform), opt)
+		if err != nil {
+			return nil, err
+		}
+		nc, err := runSuite(cluster.WithNetCrafter().WithTopology(nonUniform), opt)
+		if err != nil {
+			return nil, err
+		}
+
+		idealSp := make([]float64, 0, len(opt.Workloads))
+		ncSp := make([]float64, 0, len(opt.Workloads))
+		byteRatio := make([]float64, 0, len(opt.Workloads))
+		for _, w := range opt.Workloads {
+			idealSp = append(idealSp, speedup(base[w], ideal[w]))
+			ncSp = append(ncSp, speedup(base[w], nc[w]))
+			if b := base[w].Net.WireBytes.Value(); b > 0 {
+				byteRatio = append(byteRatio, float64(nc[w].Net.WireBytes.Value())/float64(b))
+			}
+		}
+		ratio := 1.0
+		if len(byteRatio) > 0 {
+			ratio = geoMean(byteRatio)
+		}
+		rep.AddRow(combo.label, geoMean(idealSp), geoMean(ncSp), ratio)
+	}
+	return rep, nil
+}

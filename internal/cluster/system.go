@@ -1,8 +1,11 @@
-// Package cluster assembles the full non-uniform bandwidth multi-GPU
-// node of Figure 2: GPUs paired into clusters by higher-bandwidth
-// links, clusters joined by a lower-bandwidth link guarded on each side
-// by a NetCrafter controller, plus the loader (LASP placement + PTE
-// co-location) and the workload runner.
+// Package cluster assembles non-uniform bandwidth multi-GPU nodes from
+// declarative topology graphs (internal/topo): GPUs attached to cluster
+// switches, clusters joined by lower-bandwidth links guarded on each
+// clustered side by a NetCrafter controller, plus the loader (LASP
+// placement + PTE co-location) and the workload runner. The default
+// configuration instantiates the paper's Figure-2 node (4 GPUs, 2
+// clusters); any validated topo.Graph — more GPUs, more clusters,
+// rings, fully-connected or asymmetric fabrics — builds the same way.
 package cluster
 
 import (
@@ -14,20 +17,23 @@ import (
 	"netcrafter/internal/lasp"
 	"netcrafter/internal/network"
 	"netcrafter/internal/sim"
+	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
 	"netcrafter/internal/vm"
 )
 
 // Config describes one system instance.
 type Config struct {
-	// GPUs in the system and per cluster (baseline: 4 and 2).
+	// GPUs in the system and per cluster (baseline: 4 and 2). Ignored
+	// when Topo is set.
 	GPUs           int
 	GPUsPerCluster int
 	// IntraGBps / InterGBps are the per-direction link bandwidths
-	// (Table 2: 128 and 16).
+	// (Table 2: 128 and 16). Ignored when Topo is set.
 	IntraGBps int
 	InterGBps int
-	// LinkLatency is the propagation latency of every link.
+	// LinkLatency is the propagation latency of every link. Ignored
+	// when Topo is set (the graph carries per-link latencies).
 	LinkLatency sim.Cycle
 	Switch      network.SwitchConfig
 	GPU         gpu.Config
@@ -37,6 +43,12 @@ type Config struct {
 	Placement lasp.Policy
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Topo, when non-nil, is the explicit fabric to instantiate: link
+	// bandwidths are taken from the graph (flits/cycle) and a
+	// NetCrafter controller is spliced into every cluster-boundary
+	// link. When nil, the GPUs/GPUsPerCluster/*GBps fields build the
+	// equivalent topo.FrontierNode graph.
+	Topo *topo.Graph
 }
 
 // Baseline returns the paper's Table 2 system with the NetCrafter
@@ -70,6 +82,12 @@ func WithNetCrafter() Config {
 	return c
 }
 
+// WithTopology returns cfg with the fabric replaced by g.
+func (c Config) WithTopology(g *topo.Graph) Config {
+	c.Topo = g
+	return c
+}
+
 // FlitsPerCycle converts a GB/s link bandwidth to flits per cycle at
 // the 1 GHz clock (minimum 1).
 func FlitsPerCycle(gbps, flitBytes int) int {
@@ -80,15 +98,12 @@ func FlitsPerCycle(gbps, flitBytes int) int {
 	return f
 }
 
-func (c Config) validate() Config {
-	if c.GPUs == 0 {
+// resolve normalizes the configuration and produces the topology graph
+// to instantiate — the explicit Topo, or the FrontierNode equivalent of
+// the legacy GPU-count/bandwidth fields.
+func (c Config) resolve() (Config, *topo.Graph, error) {
+	if c.Topo == nil && c.GPUs == 0 {
 		c = Baseline()
-	}
-	if c.GPUs%c.GPUsPerCluster != 0 {
-		panic("cluster: GPUs must divide into equal clusters")
-	}
-	if c.GPUs/c.GPUsPerCluster < 2 {
-		panic("cluster: need at least two clusters (the paper's setting)")
 	}
 	if c.GPU.FlitBytes == 0 {
 		c.GPU.FlitBytes = c.NetCrafter.FlitBytes
@@ -96,7 +111,35 @@ func (c Config) validate() Config {
 	if c.GPU.FlitBytes == 0 {
 		c.GPU.FlitBytes = flit.DefaultFlitBytes
 	}
-	return c
+	if c.Topo != nil {
+		g := c.Topo
+		if err := g.Validate(); err != nil {
+			return c, nil, fmt.Errorf("cluster: %w", err)
+		}
+		if g.NumClusters() < 2 {
+			return c, nil, fmt.Errorf("cluster: topology %q needs at least two clusters (the paper's setting)", g.Name)
+		}
+		if c.Switch.BufferEntries == 0 {
+			c.Switch = network.DefaultSwitchConfig()
+		}
+		c.GPUs = len(g.Devices)
+		return c, g, nil
+	}
+	if c.GPUsPerCluster < 1 || c.GPUs%c.GPUsPerCluster != 0 {
+		return c, nil, fmt.Errorf("cluster: GPUs must divide into equal clusters")
+	}
+	nClusters := c.GPUs / c.GPUsPerCluster
+	if nClusters < 2 {
+		return c, nil, fmt.Errorf("cluster: need at least two clusters (the paper's setting)")
+	}
+	lat := c.LinkLatency
+	if lat < 1 {
+		lat = 1
+	}
+	g := topo.FrontierNode(c.GPUs, nClusters,
+		FlitsPerCycle(c.IntraGBps, c.GPU.FlitBytes),
+		FlitsPerCycle(c.InterGBps, c.GPU.FlitBytes), lat)
+	return c, g, nil
 }
 
 // gpuFrameSpan is the physical address space each GPU owns.
@@ -119,121 +162,261 @@ type System struct {
 	Engine *sim.Engine
 	Sched  *sim.Scheduler
 	GPUs   []*gpu.GPU
-	// Controllers holds the per-cluster NetCrafter controllers.
+	// Controllers holds the NetCrafter controllers, one per clustered
+	// endpoint of every cluster-boundary link, in boundary-link order.
 	Controllers []*core.Controller
-	// InterLinks are the lower-bandwidth links between clusters.
+	// InterLinks are the lower-bandwidth links between clusters (the
+	// core segment of every boundary link, controller-to-controller or
+	// controller-to-backbone).
 	InterLinks []*network.Link
-	PT         *vm.PageTable
-	cfg        Config
-	alloc      *frameAlloc
-	rng        *sim.Rand
+	// Switches holds the crossbar switches in graph declaration order.
+	Switches []*network.Switch
+	// Topo is the graph this system was instantiated from.
+	Topo *topo.Graph
+	PT   *vm.PageTable
+
+	cfg       Config
+	nClusters int
+	alloc     *frameAlloc
+	rng       *sim.Rand
 }
 
-// topology implements gpu.Topology.
-type topology struct{ gpusPerCluster int }
+// graphTopology implements gpu.Topology from the device list of a
+// topology graph.
+type graphTopology struct{ clusters []flit.ClusterID }
 
-func (t topology) HomeGPU(paddr uint64) int       { return int(paddr / gpuFrameSpan) }
-func (t topology) DeviceOf(g int) flit.DeviceID   { return flit.DeviceID(g) }
-func (t topology) ClusterOf(g int) flit.ClusterID { return flit.ClusterID(g / t.gpusPerCluster) }
+func (t graphTopology) HomeGPU(paddr uint64) int       { return int(paddr / gpuFrameSpan) }
+func (t graphTopology) DeviceOf(g int) flit.DeviceID   { return flit.DeviceID(g) }
+func (t graphTopology) ClusterOf(g int) flit.ClusterID { return t.clusters[g] }
 
-// New builds the system.
+// New builds the system, panicking on an invalid configuration (Build
+// is the error-returning variant for caller-supplied topologies).
 func New(cfg Config) *System {
-	cfg = cfg.validate()
+	s, err := Build(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// Build validates the configuration (and its topology, when given) and
+// instantiates the system.
+func Build(cfg Config) (*System, error) {
+	cfg, g, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, g)
+}
+
+// build instantiates a validated graph: GPUs for devices, crossbar
+// switches, links with per-direction bandwidth, a NetCrafter controller
+// spliced into every clustered endpoint of every boundary link, and
+// BFS shortest-path routing tables. Components are created and
+// registered in graph declaration order — registration order is part of
+// the simulated machine's definition, and for the default FrontierNode
+// graph it reproduces the original hand-wired system exactly.
+func build(cfg Config, g *topo.Graph) (*System, error) {
 	s := &System{
-		Engine: sim.NewEngine(),
-		Sched:  sim.NewScheduler(),
-		cfg:    cfg,
-		alloc:  &frameAlloc{next: make([]uint64, cfg.GPUs)},
-		rng:    sim.NewRand(cfg.Seed),
+		Engine:    sim.NewEngine(),
+		Sched:     sim.NewScheduler(),
+		Topo:      g,
+		cfg:       cfg,
+		nClusters: g.NumClusters(),
+		alloc:     &frameAlloc{next: make([]uint64, len(g.Devices))},
+		rng:       sim.NewRand(cfg.Seed),
 	}
 	s.Engine.Register("sched", s.Sched)
-	topo := topology{gpusPerCluster: cfg.GPUsPerCluster}
 	s.PT = vm.NewPageTable(s.alloc)
 
-	flitBytes := cfg.GPU.FlitBytes
-	intraRate := FlitsPerCycle(cfg.IntraGBps, flitBytes)
-	interRate := FlitsPerCycle(cfg.InterGBps, flitBytes)
-
-	nClusters := cfg.GPUs / cfg.GPUsPerCluster
-	switches := make([]*network.Switch, nClusters)
-
-	for g := 0; g < cfg.GPUs; g++ {
-		s.GPUs = append(s.GPUs, gpu.New(g, cfg.GPU, topo, s.PT, s.Sched))
+	clusters := make([]flit.ClusterID, len(g.Devices))
+	devIdx := make(map[string]int, len(g.Devices))
+	for i, d := range g.Devices {
+		clusters[i] = flit.ClusterID(d.Cluster)
+		devIdx[d.Name] = i
+	}
+	tp := graphTopology{clusters: clusters}
+	for i := range g.Devices {
+		s.GPUs = append(s.GPUs, gpu.New(i, cfg.GPU, tp, s.PT, s.Sched))
 	}
 
-	// Cluster switches with GPU attachments.
-	for c := 0; c < nClusters; c++ {
-		sw := network.NewSwitch(fmt.Sprintf("sw%d", c), cfg.Switch)
-		switches[c] = sw
-		for i := 0; i < cfg.GPUsPerCluster; i++ {
-			g := c*cfg.GPUsPerCluster + i
-			pIdx := sw.AddPort(network.NewPort(fmt.Sprintf("sw%d.gpu%d", c, g), cfg.Switch.BufferEntries))
-			sw.SetPortRate(pIdx, intraRate)
-			link := network.NewLink(fmt.Sprintf("l.gpu%d", g), s.GPUs[g].RDMA.Port, sw.Ports()[pIdx], intraRate, cfg.LinkLatency)
-			sw.SetRoute(topo.DeviceOf(g), pIdx)
-			s.Engine.Register(link.Name, link)
+	sws := make(map[string]*network.Switch, len(g.Switches))
+	swCluster := make(map[string]int, len(g.Switches))
+	for _, sn := range g.Switches {
+		sw := network.NewSwitch(sn.Name, cfg.Switch)
+		sws[sn.Name] = sw
+		swCluster[sn.Name] = sn.Cluster
+		s.Switches = append(s.Switches, sw)
+	}
+
+	// Auto local bandwidth per switch: the fastest non-boundary link
+	// attached to it (the cluster's fast tier), so a spliced
+	// controller's local segment never throttles below the fabric
+	// around it. Falls back to the boundary link's own rate for a
+	// switch with nothing but boundary links.
+	localBW := make(map[string]int, len(g.Switches))
+	boundaryBW := make(map[string]int, len(g.Switches))
+	for _, ln := range g.Links {
+		r := max(ln.RateAB(), ln.RateBA())
+		into := localBW
+		if g.Boundary(ln) {
+			into = boundaryBW
 		}
-	}
-
-	// NetCrafter controllers and the inter-cluster network. The paper's
-	// two-cluster baseline uses one direct link between the two
-	// controllers; with more clusters (the scaling extension) the
-	// controllers hang off a central inter-cluster switch, each uplink
-	// at the lower bandwidth.
-	ncCfg := cfg.NetCrafter
-	ncCfg.FlitBytes = flitBytes
-	ncCfg.EjectRate = interRate
-	for c := 0; c < nClusters; c++ {
-		ctl := core.NewController(fmt.Sprintf("nc%d", c), flit.ClusterID(c), nClusters-1, ncCfg)
-		s.Controllers = append(s.Controllers, ctl)
-		// Attach controller's local side to the cluster switch; route
-		// all other clusters' devices toward it.
-		sw := switches[c]
-		pIdx := sw.AddPort(network.NewPort(fmt.Sprintf("sw%d.nc", c), cfg.Switch.BufferEntries))
-		sw.SetPortRate(pIdx, intraRate)
-		link := network.NewLink(fmt.Sprintf("l.nc%d", c), ctl.Local, sw.Ports()[pIdx], intraRate, cfg.LinkLatency)
-		sw.SetDefaultRoute(pIdx)
-		s.Engine.Register(link.Name, link)
-	}
-	if nClusters == 2 {
-		inter := network.NewLink("l.inter", s.Controllers[0].Remote, s.Controllers[1].Remote, interRate, cfg.LinkLatency)
-		s.InterLinks = append(s.InterLinks, inter)
-		s.Engine.Register(inter.Name, inter)
-	} else {
-		global := network.NewSwitch("swglobal", cfg.Switch)
-		for c := 0; c < nClusters; c++ {
-			pIdx := global.AddPort(network.NewPort(fmt.Sprintf("swglobal.c%d", c), cfg.Switch.BufferEntries))
-			global.SetPortRate(pIdx, interRate)
-			link := network.NewLink(fmt.Sprintf("l.inter%d", c), s.Controllers[c].Remote, global.Ports()[pIdx], interRate, cfg.LinkLatency)
-			for i := 0; i < cfg.GPUsPerCluster; i++ {
-				global.SetRoute(topo.DeviceOf(c*cfg.GPUsPerCluster+i), pIdx)
+		for _, end := range []string{ln.A, ln.B} {
+			if _, isSw := sws[end]; isSw && r > into[end] {
+				into[end] = r
 			}
-			s.InterLinks = append(s.InterLinks, link)
-			s.Engine.Register(link.Name, link)
 		}
-		s.Engine.Register(global.Name, global)
+	}
+	for name, bw := range boundaryBW {
+		if localBW[name] == 0 {
+			localBW[name] = bw
+		}
+	}
+
+	// portOf[switch][neighbor node] = port index toward that neighbor.
+	portOf := make(map[string]map[string]int, len(g.Switches))
+	for name := range sws {
+		portOf[name] = map[string]int{}
+	}
+	addPort := func(sw *network.Switch, portName, neighbor string, rate int) *network.Port {
+		idx := sw.AddPort(network.NewPort(portName, cfg.Switch.BufferEntries))
+		sw.SetPortRate(idx, rate)
+		portOf[sw.Name][neighbor] = idx
+		return sw.Ports()[idx]
+	}
+
+	ncCfg := cfg.NetCrafter
+	ncCfg.FlitBytes = cfg.GPU.FlitBytes
+	remoteClusters := s.nClusters - 1
+	ctlPerCluster := map[int]int{}
+	// splice inserts a NetCrafter controller between a cluster switch
+	// and the boundary link toward far: an intra-speed segment from the
+	// switch to the controller's local side, the controller ejecting at
+	// the boundary link's egress rate on its remote side.
+	splice := func(swName string, cluster int, far string, egressRate int, lat sim.Cycle, lbw int) *network.Port {
+		sw := sws[swName]
+		k := ctlPerCluster[cluster]
+		ctlPerCluster[cluster]++
+		ctlName := fmt.Sprintf("nc%d", cluster)
+		portName := swName + ".nc"
+		if k > 0 {
+			ctlName = fmt.Sprintf("nc%d.%d", cluster, k)
+			portName = fmt.Sprintf("%s.nc%d", swName, k)
+		}
+		cc := ncCfg
+		cc.EjectRate = egressRate
+		ctl := core.NewController(ctlName, flit.ClusterID(cluster), remoteClusters, cc)
+		s.Controllers = append(s.Controllers, ctl)
+		if lbw == 0 {
+			lbw = localBW[swName]
+		}
+		local := network.NewLink("l."+ctlName, ctl.Local, addPort(sw, portName, far, lbw), lbw, lat)
+		s.Engine.Register(local.Name, local)
+		return ctl.Remote
+	}
+
+	nBoundary := 0
+	for _, ln := range g.Links {
+		if g.Boundary(ln) {
+			nBoundary++
+		}
+	}
+
+	interIdx := 0
+	for _, ln := range g.Links {
+		ab, ba := ln.RateAB(), ln.RateBA()
+		aDev, aIsDev := devIdx[ln.A]
+		bDev, bIsDev := devIdx[ln.B]
+		switch {
+		case aIsDev || bIsDev:
+			// GPU attachment (validation guarantees same-cluster,
+			// device on exactly one side).
+			dev, swName := ln.A, ln.B
+			gi := aDev
+			if bIsDev {
+				dev, swName, gi = ln.B, ln.A, bDev
+			}
+			sw := sws[swName]
+			p := addPort(sw, swName+"."+dev, dev, max(ab, ba))
+			ends := [2]*network.Port{s.GPUs[gi].RDMA.Port, p}
+			if bIsDev {
+				ends = [2]*network.Port{p, s.GPUs[gi].RDMA.Port}
+			}
+			link := network.NewAsymLink("l."+dev, ends[0], ends[1], ab, ba, ln.Latency)
+			s.Engine.Register(link.Name, link)
+		case !g.Boundary(ln):
+			// Intra-cluster or backbone-internal switch-switch link.
+			pa := addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
+			pb := addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
+			link := network.NewAsymLink("l."+ln.A+"-"+ln.B, pa, pb, ab, ba, ln.Latency)
+			s.Engine.Register(link.Name, link)
+		default:
+			// Cluster boundary: controllers guard each clustered
+			// endpoint; a backbone endpoint takes the link raw.
+			var endA, endB *network.Port
+			if ca := swCluster[ln.A]; ca != topo.Backbone {
+				endA = splice(ln.A, ca, ln.B, ab, ln.Latency, ln.LocalBW)
+			} else {
+				endA = addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
+			}
+			if cb := swCluster[ln.B]; cb != topo.Backbone {
+				endB = splice(ln.B, cb, ln.A, ba, ln.Latency, ln.LocalBW)
+			} else {
+				endB = addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
+			}
+			name := "l.inter"
+			if nBoundary > 1 {
+				name = fmt.Sprintf("l.inter%d", interIdx)
+			}
+			interIdx++
+			link := network.NewAsymLink(name, endA, endB, ab, ba, ln.Latency)
+			s.InterLinks = append(s.InterLinks, link)
+			s.Engine.Register(name, link)
+		}
+	}
+
+	// Deterministic shortest-path routing tables: every switch learns
+	// the egress port toward every device. AddRoute surfaces duplicate
+	// device→port conflicts as errors instead of silently overwriting.
+	hops, err := g.NextHops()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	for _, sn := range g.Switches {
+		sw := sws[sn.Name]
+		for di, d := range g.Devices {
+			nh := hops[sn.Name][d.Name]
+			port, ok := portOf[sn.Name][nh]
+			if !ok {
+				return nil, fmt.Errorf("cluster: switch %s has no port toward %s (route to %s)", sn.Name, nh, d.Name)
+			}
+			if err := sw.AddRoute(flit.DeviceID(di), port); err != nil {
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+		}
 	}
 
 	// Register remaining tickers in deterministic order.
-	for c, sw := range switches {
-		s.Engine.Register(fmt.Sprintf("sw%d", c), sw)
+	for _, sn := range g.Switches {
+		s.Engine.Register(sn.Name, sws[sn.Name])
 	}
 	for _, ctl := range s.Controllers {
 		s.Engine.Register(ctl.Name, ctl)
 	}
-	for _, g := range s.GPUs {
-		for i, t := range g.Tickers() {
-			s.Engine.Register(fmt.Sprintf("%s.t%d", g.Name, i), t)
+	for _, gp := range s.GPUs {
+		for i, t := range gp.Tickers() {
+			s.Engine.Register(fmt.Sprintf("%s.t%d", gp.Name, i), t)
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
 
 // NumClusters returns the cluster count.
-func (s *System) NumClusters() int { return s.cfg.GPUs / s.cfg.GPUsPerCluster }
+func (s *System) NumClusters() int { return s.nClusters }
 
 // AllIdle reports whether every GPU has drained.
 func (s *System) AllIdle() bool {

@@ -155,7 +155,7 @@ func TestPTECoLocationInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Load(spec)
-	topo := topology{gpusPerCluster: 2}
+	topo := graphTopology{}
 	for _, reg := range spec.Regions {
 		baseVPN := vm.VPN(reg.Base)
 		// The leaf PTE page must live on the GPU of the first data

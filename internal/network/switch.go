@@ -89,10 +89,28 @@ func (s *Switch) SetPortRate(port, flitsPerCycle int) {
 	}
 }
 
-// SetRoute directs flits for dev out of the given port index.
-func (s *Switch) SetRoute(dev flit.DeviceID, port int) {
+// AddRoute directs flits for dev out of the given port index. A
+// conflicting duplicate — the device already routed out a different
+// port — is an error: earlier the second entry silently replaced the
+// first, hiding topology bugs until flits looped or vanished. Topology
+// construction propagates the error; re-adding the same mapping is a
+// no-op.
+func (s *Switch) AddRoute(dev flit.DeviceID, port int) error {
 	s.mustPort(port)
+	if prev, ok := s.route[dev]; ok && prev != port {
+		return fmt.Errorf("network: switch %s: duplicate route for device %d (port %d, then %d)",
+			s.Name, dev, prev, port)
+	}
 	s.route[dev] = port
+	return nil
+}
+
+// SetRoute directs flits for dev out of the given port index, panicking
+// on a conflicting duplicate (use AddRoute to handle it as an error).
+func (s *Switch) SetRoute(dev flit.DeviceID, port int) {
+	if err := s.AddRoute(dev, port); err != nil {
+		panic(err)
+	}
 }
 
 // SetDefaultRoute directs flits with no explicit route out of port.

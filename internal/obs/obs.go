@@ -85,12 +85,12 @@ func (g *Gauge) Value() float64 {
 // *Registry is valid: every lookup returns a nil instrument, so
 // components can be wired unconditionally.
 type Registry struct {
-	mu        sync.Mutex
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	gaugeFns  map[string]func() float64
-	hists     map[string]*Hist
-	series    map[string]*Series
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Hist
+	series   map[string]*Series
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,54 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax: one subgraph per GPU
+// cluster, devices as boxes, switches as diamonds, links labeled with
+// bandwidth (both directions when asymmetric) and latency, boundary
+// links — where instantiation places NetCrafter controllers — drawn
+// bold. Pipe through `dot -Tsvg` to visualize (see `make topo-dot`).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name)
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [fontsize=10];\n")
+
+	byCluster := map[int][]string{}
+	for _, d := range g.Devices {
+		byCluster[d.Cluster] = append(byCluster[d.Cluster],
+			fmt.Sprintf("    %q [shape=box, style=filled, fillcolor=lightblue];\n", d.Name))
+	}
+	for _, s := range g.Switches {
+		byCluster[s.Cluster] = append(byCluster[s.Cluster],
+			fmt.Sprintf("    %q [shape=diamond];\n", s.Name))
+	}
+	for c := 0; c < g.NumClusters(); c++ {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"cluster %d\";\n", c, c)
+		for _, line := range byCluster[c] {
+			b.WriteString(line)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, line := range byCluster[Backbone] {
+		b.WriteString("  " + strings.TrimPrefix(line, "    "))
+	}
+
+	for _, l := range g.Links {
+		label := fmt.Sprintf("%d", l.BW)
+		if l.BWBack > 0 && l.BWBack != l.BW {
+			label = fmt.Sprintf("%d/%d", l.BW, l.BWBack)
+		}
+		if l.Latency > 1 {
+			label += fmt.Sprintf(" @%dcy", l.Latency)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if g.Boundary(l) {
+			attrs += ", style=bold, color=red"
+		}
+		fmt.Fprintf(&b, "  %q -- %q [%s];\n", l.A, l.B, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

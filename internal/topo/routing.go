@@ -1,0 +1,57 @@
+package topo
+
+// NextHops computes, for every switch, the neighbor on a shortest path
+// to every device: result[switch][device] = next-hop node name. Routing
+// is deterministic: all links cost one hop and ties are broken toward
+// the neighbor attached by the earliest-declared link, so two
+// identical graphs always route identically (the determinism guard the
+// bit-identical-stats tests rely on). The graph is validated first;
+// validation failures are returned as errors, never panics.
+func (g *Graph) NextHops() (map[string]map[string]string, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	ix, err := g.index()
+	if err != nil {
+		return nil, err
+	}
+	hops := make(map[string]map[string]string, len(g.Switches))
+	for _, s := range g.Switches {
+		hops[s.Name] = make(map[string]string, len(g.Devices))
+	}
+
+	dist := make([]int, len(ix.names))
+	queue := make([]int, 0, len(ix.names))
+	for di, d := range g.Devices {
+		// BFS from the device: dist[n] is the hop count from n to d.
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, di)
+		dist[di] = 0
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, p := range ix.adj[n] {
+				if dist[p] < 0 {
+					dist[p] = dist[n] + 1
+					queue = append(queue, p)
+				}
+			}
+		}
+		for _, s := range g.Switches {
+			si := ix.id[s.Name]
+			if dist[si] < 0 {
+				return nil, errf("no path from switch %s to device %s", s.Name, d.Name)
+			}
+			for _, p := range ix.adj[si] {
+				if dist[p] == dist[si]-1 {
+					hops[s.Name][d.Name] = ix.names[p]
+					break
+				}
+			}
+		}
+	}
+	return hops, nil
+}

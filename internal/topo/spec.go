@@ -1,0 +1,115 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+
+	"netcrafter/internal/sim"
+)
+
+// The compact JSON spec format. Example:
+//
+//	{
+//	  "name": "frontier-4gpu",
+//	  "devices":  [{"name": "gpu0", "cluster": 0}, ...],
+//	  "switches": [{"name": "sw0", "cluster": 0}, {"name": "swx"}],
+//	  "links": [
+//	    {"a": "gpu0", "b": "sw0", "bw": 8},
+//	    {"a": "sw0", "b": "swx", "bw": 1, "bw_back": 2, "latency": 4}
+//	  ]
+//	}
+//
+// Bandwidths are flits/cycle per direction (bw_back 0/omitted =
+// symmetric). latency defaults to 1 cycle. A switch with no "cluster"
+// field is a backbone switch. Unknown fields are rejected so typos
+// surface as parse errors instead of silently-ignored knobs.
+type jsonGraph struct {
+	Name     string       `json:"name,omitempty"`
+	Devices  []jsonDevice `json:"devices"`
+	Switches []jsonSwitch `json:"switches"`
+	Links    []jsonLink   `json:"links"`
+}
+
+type jsonDevice struct {
+	Name    string `json:"name"`
+	Cluster int    `json:"cluster"`
+}
+
+type jsonSwitch struct {
+	Name    string `json:"name"`
+	Cluster *int   `json:"cluster,omitempty"` // nil = Backbone
+}
+
+type jsonLink struct {
+	A       string `json:"a"`
+	B       string `json:"b"`
+	BW      int    `json:"bw"`
+	BWBack  int    `json:"bw_back,omitempty"`
+	Latency int64  `json:"latency,omitempty"` // 0 = default 1
+	LocalBW int    `json:"local_bw,omitempty"`
+}
+
+// Parse decodes and validates a JSON topology spec. Malformed JSON,
+// unknown fields, dangling node references, and every structural
+// problem Validate catches come back as errors; Parse never panics.
+func Parse(data []byte) (*Graph, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var jg jsonGraph
+	if err := dec.Decode(&jg); err != nil {
+		return nil, errf("parse: %v", err)
+	}
+	// Trailing garbage after the document is a malformed spec too.
+	if dec.More() {
+		return nil, errf("parse: trailing data after topology document")
+	}
+	g := &Graph{Name: jg.Name}
+	for _, d := range jg.Devices {
+		g.Devices = append(g.Devices, Device{Name: d.Name, Cluster: d.Cluster})
+	}
+	for _, s := range jg.Switches {
+		cl := Backbone
+		if s.Cluster != nil {
+			cl = *s.Cluster
+		}
+		g.Switches = append(g.Switches, Switch{Name: s.Name, Cluster: cl})
+	}
+	for _, l := range jg.Links {
+		lat := sim.Cycle(l.Latency)
+		if l.Latency == 0 {
+			lat = 1
+		}
+		g.Links = append(g.Links, Link{
+			A: l.A, B: l.B,
+			BW: l.BW, BWBack: l.BWBack,
+			Latency: lat,
+			LocalBW: l.LocalBW,
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseFile reads and parses a JSON topology spec from disk.
+func ParseFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, errf("read spec: %v", err)
+	}
+	return Parse(data)
+}
+
+// Load resolves a -topo argument: a preset name first, then a spec
+// file path.
+func Load(nameOrPath string) (*Graph, error) {
+	if g, err := Preset(nameOrPath); err == nil {
+		return g, nil
+	}
+	if _, err := os.Stat(nameOrPath); err != nil {
+		return nil, errf("%q is neither a preset (%v) nor a spec file", nameOrPath, Presets())
+	}
+	return ParseFile(nameOrPath)
+}

@@ -1,0 +1,167 @@
+// Package topo is the declarative topology subsystem: a graph model of
+// devices (GPU RDMA endpoints), switches, and links with per-direction
+// bandwidth (flits/cycle) and propagation latency. A Graph can come
+// from a compact JSON spec (Parse), from a programmatic builder
+// (FrontierNode, Ring, FullyConnected, ...), or from a named preset.
+// After Validate passes, NextHops derives deterministic shortest-path
+// routing tables (BFS with stable tie-breaks) and package cluster can
+// instantiate the graph as a runnable system, placing a NetCrafter
+// controller at every cluster-boundary egress the graph identifies.
+package topo
+
+import "netcrafter/internal/sim"
+
+// Backbone is the cluster ID of a switch that belongs to no GPU
+// cluster: part of the inter-cluster fabric, outside every controller.
+const Backbone = -1
+
+// Device is one GPU's network endpoint (its RDMA engine). The device's
+// position in Graph.Devices is its GPU index and its flit.DeviceID.
+type Device struct {
+	Name string
+	// Cluster is the GPU cluster this device belongs to (>= 0).
+	Cluster int
+}
+
+// Switch is one crossbar switch of the fabric.
+type Switch struct {
+	Name string
+	// Cluster is the GPU cluster the switch serves, or Backbone (-1)
+	// for a switch of the inter-cluster fabric.
+	Cluster int
+}
+
+// Link is one connection between two named nodes. Bandwidth is given
+// per direction in flits/cycle (at 16-byte flits and the 1 GHz clock,
+// 1 flit/cycle = 16 GB/s); a zero BWBack means the link is symmetric.
+type Link struct {
+	A, B string
+	// BW is the A->B bandwidth in flits/cycle.
+	BW int
+	// BWBack is the B->A bandwidth in flits/cycle (0 = same as BW).
+	BWBack int
+	// Latency is the per-hop propagation latency in cycles (>= 1).
+	Latency sim.Cycle
+	// LocalBW sizes the spliced controller-to-switch segment when this
+	// link crosses a cluster boundary (a NetCrafter controller is
+	// inserted at each clustered endpoint). 0 = auto: the fastest
+	// non-boundary link attached to that switch, so the controller —
+	// not the wire into it — is the shaping bottleneck.
+	LocalBW int
+}
+
+// RateAB returns the A->B bandwidth in flits/cycle.
+func (l Link) RateAB() int { return l.BW }
+
+// RateBA returns the B->A bandwidth in flits/cycle.
+func (l Link) RateBA() int {
+	if l.BWBack > 0 {
+		return l.BWBack
+	}
+	return l.BW
+}
+
+// Graph is a declarative fabric description. The zero value is invalid;
+// construct via a builder, Parse, or by filling the fields and calling
+// Validate.
+type Graph struct {
+	Name     string
+	Devices  []Device
+	Switches []Switch
+	Links    []Link
+}
+
+// NumClusters returns the number of distinct device clusters.
+// Validation guarantees device clusters are contiguous from 0, so this
+// is max(cluster)+1.
+func (g *Graph) NumClusters() int {
+	n := 0
+	for _, d := range g.Devices {
+		if d.Cluster+1 > n {
+			n = d.Cluster + 1
+		}
+	}
+	return n
+}
+
+// NodeCluster returns the cluster of a named node (Backbone for
+// backbone switches) and whether the node exists.
+func (g *Graph) NodeCluster(name string) (int, bool) {
+	for _, d := range g.Devices {
+		if d.Name == name {
+			return d.Cluster, true
+		}
+	}
+	for _, s := range g.Switches {
+		if s.Name == name {
+			return s.Cluster, true
+		}
+	}
+	return 0, false
+}
+
+// Boundary reports whether the link crosses a cluster boundary (its
+// endpoints' clusters differ; a backbone switch is outside every
+// cluster). Instantiation splices a NetCrafter controller at each
+// clustered endpoint of every boundary link. Unknown endpoints are not
+// a boundary; Validate rejects them separately.
+func (g *Graph) Boundary(l Link) bool {
+	ca, oka := g.NodeCluster(l.A)
+	cb, okb := g.NodeCluster(l.B)
+	return oka && okb && ca != cb
+}
+
+// gindex is the resolved form of a Graph used by validation and
+// routing: integer node IDs (devices first, then switches, in
+// declaration order) and adjacency lists in link-declaration order —
+// the order that makes routing tie-breaks deterministic.
+type gindex struct {
+	id      map[string]int
+	names   []string
+	isDev   []bool
+	cluster []int
+	adj     [][]int // neighbor node IDs, in link-declaration order
+}
+
+// index resolves names to IDs. It reports the first duplicate or empty
+// name; deeper checks live in Validate.
+func (g *Graph) index() (*gindex, error) {
+	ix := &gindex{id: make(map[string]int)}
+	add := func(name string, dev bool, cluster int) error {
+		if name == "" {
+			return errf("node with empty name")
+		}
+		if _, dup := ix.id[name]; dup {
+			return errf("duplicate node name %q", name)
+		}
+		ix.id[name] = len(ix.names)
+		ix.names = append(ix.names, name)
+		ix.isDev = append(ix.isDev, dev)
+		ix.cluster = append(ix.cluster, cluster)
+		return nil
+	}
+	for _, d := range g.Devices {
+		if err := add(d.Name, true, d.Cluster); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range g.Switches {
+		if err := add(s.Name, false, s.Cluster); err != nil {
+			return nil, err
+		}
+	}
+	ix.adj = make([][]int, len(ix.names))
+	for _, l := range g.Links {
+		a, oka := ix.id[l.A]
+		b, okb := ix.id[l.B]
+		if !oka {
+			return nil, errf("link %s-%s references unknown node %q", l.A, l.B, l.A)
+		}
+		if !okb {
+			return nil, errf("link %s-%s references unknown node %q", l.A, l.B, l.B)
+		}
+		ix.adj[a] = append(ix.adj[a], b)
+		ix.adj[b] = append(ix.adj[b], a)
+	}
+	return ix, nil
+}

@@ -1,0 +1,139 @@
+package topo
+
+import "fmt"
+
+// Structural limits. MaxSwitchPorts bounds a switch's graph degree (the
+// instantiated port count can exceed it by one per spliced controller);
+// the bandwidth and latency caps reject nonsense specs before they turn
+// into absurdly slow simulations.
+const (
+	MaxSwitchPorts = 64
+	MaxLinkBW      = 4096
+	MaxLinkLatency = 1_000_000
+)
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("topo: "+format, args...)
+}
+
+// Validate checks the graph is a buildable fabric. It returns an error
+// (never panics) on: duplicate or empty node names, dangling link
+// endpoints, self-loops, device-device links, parallel links between
+// the same pair (which would make routing-table construction ambiguous
+// — the duplicate device→port class of bug), devices not attached to
+// exactly one same-cluster switch, out-of-range bandwidth or latency,
+// oversubscribed switch port counts, non-contiguous cluster numbering,
+// and a disconnected graph.
+func (g *Graph) Validate() error {
+	if len(g.Devices) == 0 {
+		return errf("graph %q has no devices", g.Name)
+	}
+	if len(g.Switches) == 0 {
+		return errf("graph %q has no switches", g.Name)
+	}
+	ix, err := g.index()
+	if err != nil {
+		return err
+	}
+
+	// Cluster numbering: devices cover 0..K-1 with no gaps; switches
+	// are Backbone or in a cluster that owns at least one device.
+	devClusters := map[int]bool{}
+	maxCluster := -1
+	for _, d := range g.Devices {
+		if d.Cluster < 0 {
+			return errf("device %s has negative cluster %d", d.Name, d.Cluster)
+		}
+		devClusters[d.Cluster] = true
+		if d.Cluster > maxCluster {
+			maxCluster = d.Cluster
+		}
+	}
+	for c := 0; c <= maxCluster; c++ {
+		if !devClusters[c] {
+			return errf("cluster IDs not contiguous: no device in cluster %d (max %d)", c, maxCluster)
+		}
+	}
+	for _, s := range g.Switches {
+		if s.Cluster != Backbone && !devClusters[s.Cluster] {
+			return errf("switch %s in cluster %d, which has no devices (use %d for a backbone switch)",
+				s.Name, s.Cluster, Backbone)
+		}
+	}
+
+	// Links.
+	seen := map[[2]int]bool{}
+	for _, l := range g.Links {
+		a, b := ix.id[l.A], ix.id[l.B]
+		if a == b {
+			return errf("self-loop link on %s", l.A)
+		}
+		if ix.isDev[a] && ix.isDev[b] {
+			return errf("device-device link %s-%s: devices must attach to a switch", l.A, l.B)
+		}
+		if l.BW < 1 || l.BW > MaxLinkBW {
+			return errf("link %s-%s bandwidth %d out of range [1,%d]", l.A, l.B, l.BW, MaxLinkBW)
+		}
+		if l.BWBack < 0 || l.BWBack > MaxLinkBW {
+			return errf("link %s-%s reverse bandwidth %d out of range [0,%d]", l.A, l.B, l.BWBack, MaxLinkBW)
+		}
+		if l.Latency < 1 || l.Latency > MaxLinkLatency {
+			return errf("link %s-%s latency %d out of range [1,%d]", l.A, l.B, l.Latency, MaxLinkLatency)
+		}
+		if l.LocalBW < 0 || l.LocalBW > MaxLinkBW {
+			return errf("link %s-%s local bandwidth %d out of range [0,%d]", l.A, l.B, l.LocalBW, MaxLinkBW)
+		}
+		pair := [2]int{a, b}
+		if b < a {
+			pair = [2]int{b, a}
+		}
+		if seen[pair] {
+			return errf("parallel link %s-%s: duplicate links make routing ambiguous", l.A, l.B)
+		}
+		seen[pair] = true
+	}
+
+	// Degrees: a device has exactly one port, on a same-cluster switch;
+	// switches carry at least one and at most MaxSwitchPorts links.
+	for i, name := range ix.names {
+		deg := len(ix.adj[i])
+		if ix.isDev[i] {
+			if deg != 1 {
+				return errf("device %s has %d links, want exactly 1", name, deg)
+			}
+			peer := ix.adj[i][0]
+			if ix.cluster[peer] != ix.cluster[i] {
+				return errf("device %s (cluster %d) attached to %s (cluster %d): must match",
+					name, ix.cluster[i], ix.names[peer], ix.cluster[peer])
+			}
+			continue
+		}
+		if deg == 0 {
+			return errf("switch %s has no links", name)
+		}
+		if deg > MaxSwitchPorts {
+			return errf("switch %s has %d links, max %d ports", name, deg, MaxSwitchPorts)
+		}
+	}
+
+	// Connectivity: one fabric, every node reachable.
+	visited := make([]bool, len(ix.names))
+	queue := []int{0}
+	visited[0] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, p := range ix.adj[n] {
+			if !visited[p] {
+				visited[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i, v := range visited {
+		if !v {
+			return errf("graph disconnected: %s unreachable from %s", ix.names[i], ix.names[0])
+		}
+	}
+	return nil
+}

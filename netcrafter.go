@@ -26,6 +26,7 @@ import (
 	"netcrafter/internal/gpu"
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
+	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
 	"netcrafter/internal/workload"
 )
@@ -111,8 +112,52 @@ func Medium() Scale { return workload.Medium() }
 // Workloads lists the fifteen Table-3 applications.
 func Workloads() []string { return workload.Names() }
 
-// NewSystem builds a system for repeated or incremental use.
+// NewSystem builds a system for repeated or incremental use, panicking
+// on an invalid configuration; BuildSystem is the error-returning
+// variant for caller-supplied topologies.
 func NewSystem(cfg Config) *System { return cluster.New(cfg) }
+
+// BuildSystem validates cfg (and its Topology, when set) and builds the
+// system, returning invalid-fabric problems as errors.
+func BuildSystem(cfg Config) (*System, error) { return cluster.Build(cfg) }
+
+// Topology is a declarative fabric graph: GPU devices, switches and
+// bandwidth-annotated links. Build one programmatically
+// (FrontierTopology, RingTopology, ...), load a preset or JSON spec
+// file (LoadTopology), and instantiate it with Config.WithTopology —
+// a NetCrafter controller is spliced into every cluster-boundary link.
+type Topology = topo.Graph
+
+// LoadTopology resolves a preset name (see TopologyPresets) or a JSON
+// spec file path into a validated topology.
+func LoadTopology(nameOrPath string) (*Topology, error) { return topo.Load(nameOrPath) }
+
+// ParseTopology decodes and validates a JSON topology spec.
+func ParseTopology(data []byte) (*Topology, error) { return topo.Parse(data) }
+
+// TopologyPresets lists the named built-in topologies, sorted.
+func TopologyPresets() []string { return topo.Presets() }
+
+// TopologyPreset returns one named built-in topology.
+func TopologyPreset(name string) (*Topology, error) { return topo.Preset(name) }
+
+// FrontierTopology is the paper's Figure-2 node generalized to nGPUs
+// split evenly over nClusters; bandwidths are flits/cycle (8 = 128 GB/s
+// at 16-byte flits, 1 = 16 GB/s). FrontierTopology(4, 2, 8, 1, 1) is
+// the seed system.
+func FrontierTopology(nGPUs, nClusters, intraBW, interBW int, latency Cycle) *Topology {
+	return topo.FrontierNode(nGPUs, nClusters, intraBW, interBW, latency)
+}
+
+// RingTopology joins nClusters clusters in a ring of interBW links.
+func RingTopology(nClusters, gpusPerCluster, intraBW, interBW int, latency Cycle) *Topology {
+	return topo.Ring(nClusters, gpusPerCluster, intraBW, interBW, latency)
+}
+
+// FullyConnectedTopology joins every cluster pair directly at interBW.
+func FullyConnectedTopology(nClusters, gpusPerCluster, intraBW, interBW int, latency Cycle) *Topology {
+	return topo.FullyConnected(nClusters, gpusPerCluster, intraBW, interBW, latency)
+}
 
 // Run builds a fresh system with cfg and executes the named workload
 // at the given scale. A generous default cycle limit is applied.
