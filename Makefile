@@ -1,13 +1,16 @@
 # Development targets. `make ci` is the full gate: formatting, vet,
 # build, the test suite under the race detector (the observability layer
-# is concurrency-safe by contract, so races are release blockers), and a
-# short fuzz of the topology spec parser.
+# and the parallel sweep runner are concurrency-safe by contract, so
+# races are release blockers), a short fuzz of the topology spec parser,
+# the docs checks, and a race-instrumented smoke of the parallel sweep
+# runner end to end.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz-smoke topo-dot
+.PHONY: ci fmt vet build test race bench fuzz-smoke topo-dot \
+	docs-check arch-dot sweep-smoke sweep-small
 
-ci: fmt vet build race fuzz-smoke
+ci: fmt vet build race fuzz-smoke docs-check sweep-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,6 +33,67 @@ bench:
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
+
+# Every package must carry a package-level doc comment, and the
+# committed architecture DOT must match the current import graph.
+docs-check:
+	@missing=0; \
+	for d in . internal/*; do \
+		if ! grep -qs '^// Package ' $$d/*.go; then \
+			echo "docs-check: missing '// Package' comment in $$d"; missing=1; fi; \
+	done; \
+	for d in cmd/*; do \
+		if ! grep -qs '^// Command ' $$d/*.go; then \
+			echo "docs-check: missing '// Command' comment in $$d"; missing=1; fi; \
+	done; \
+	[ $$missing -eq 0 ]
+	@$(MAKE) -s arch-dot ARCH_DOT=/tmp/netcrafter-arch.dot; \
+	if ! diff -u docs/architecture.dot /tmp/netcrafter-arch.dot; then \
+		echo "docs-check: docs/architecture.dot is stale; run 'make arch-dot'"; exit 1; fi
+
+# Regenerate the internal-package dependency graph committed at
+# docs/architecture.dot (see docs/ARCHITECTURE.md).
+ARCH_DOT ?= docs/architecture.dot
+arch-dot:
+	@{ \
+	printf '%s\n' \
+	  '// Internal package dependency graph. Generated — do not edit by hand:' \
+	  '// regenerate with `make arch-dot` after changing imports, and keep the' \
+	  '// committed copy in sync (make docs-check diffs it).' \
+	  'digraph netcrafter {' \
+	  '  rankdir=BT;' \
+	  '  node [shape=box, fontname="Helvetica", fontsize=11];' \
+	  '' \
+	  '  // Layers, foundation at the bottom (edges point at dependencies).' \
+	  '  { rank=same; sim; }' \
+	  '  { rank=same; obs; stats; trace; workload; }' \
+	  '  { rank=same; flit; topo; }' \
+	  '  { rank=same; network; cache; dram; lasp; }' \
+	  '  { rank=same; vm; core; }' \
+	  '  { rank=same; gpu; }' \
+	  '  { rank=same; cluster; }' \
+	  '  { rank=same; bench; }' \
+	  ''; \
+	$(GO) list -f '{{.ImportPath}}{{range .Imports}} {{.}}{{end}}' ./internal/... | \
+	awk '{ from=$$1; sub("netcrafter/internal/","",from); \
+	       for(i=2;i<=NF;i++) if ($$i ~ /^netcrafter\/internal\//) { \
+	         to=$$i; sub("netcrafter/internal/","",to); \
+	         printf "  %s -> %s;\n", from, to } }' | sort; \
+	printf '}\n'; \
+	} > $(ARCH_DOT)
+
+# Race-instrumented end-to-end smoke of the parallel sweep runner:
+# tiny scale so the race detector's overhead stays in CI budget.
+sweep-smoke:
+	$(GO) run -race ./cmd/netcrafter-bench -exp fig3 -scale tiny -parallel 8 \
+		-manifest /tmp/netcrafter-sweep-smoke.json -q > /dev/null
+	$(GO) run -race ./cmd/netcrafter-bench -exp fig3 -scale tiny -parallel 8 \
+		-manifest /tmp/netcrafter-sweep-smoke.json -resume -q > /dev/null
+
+# The committed perf trajectory: the full small-scale sweep, every
+# experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).
+sweep-small:
+	$(GO) run ./cmd/netcrafter-bench -exp all -scale small -parallel 8 -resume > results_small.txt
 
 # Render the 8-GPU / 4-cluster preset as Graphviz dot on stdout
 # (pipe through `dot -Tsvg` to visualize).

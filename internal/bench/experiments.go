@@ -71,14 +71,11 @@ func init() {
 }
 
 func fig3(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.Ideal())
 	if err != nil {
 		return nil, err
 	}
-	ideal, err := runSuite(cluster.Ideal(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, ideal := rs[0], rs[1]
 	rep := &Report{ID: "fig3", Title: "Ideal/high-bandwidth speedup over non-uniform baseline",
 		Columns: []string{"ideal-speedup"},
 		Notes:   "ideal averages ~1.5x; network-bound workloads gain most"}
@@ -90,14 +87,11 @@ func fig3(opt Options) (*Report, error) {
 }
 
 func fig4(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.Ideal())
 	if err != nil {
 		return nil, err
 	}
-	ideal, err := runSuite(cluster.Ideal(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, ideal := rs[0], rs[1]
 	rep := &Report{ID: "fig4", Title: "Inter-cluster link utilization",
 		Columns: []string{"non-uniform", "ideal"},
 		Notes:   "non-uniform runs near saturation on network-bound workloads; ideal far lower"}
@@ -108,14 +102,11 @@ func fig4(opt Options) (*Report, error) {
 }
 
 func fig5(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.Ideal())
 	if err != nil {
 		return nil, err
 	}
-	ideal, err := runSuite(cluster.Ideal(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, ideal := rs[0], rs[1]
 	rep := &Report{ID: "fig5", Title: "Mean inter-cluster read latency, normalized to non-uniform",
 		Columns: []string{"non-uniform", "ideal"},
 		Notes:   "ideal latency well below 1.0 for network-bound workloads"}
@@ -161,18 +152,14 @@ func fig7(opt Options) (*Report, error) {
 }
 
 func fig8(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt,
+		cluster.Baseline(),
+		ncConfig(func(n *core.Config) { n.Sequencing = core.SeqPTW }),
+		ncConfig(func(n *core.Config) { n.Sequencing = core.SeqDataEqual }))
 	if err != nil {
 		return nil, err
 	}
-	ptw, err := runSuite(ncConfig(func(n *core.Config) { n.Sequencing = core.SeqPTW }), opt)
-	if err != nil {
-		return nil, err
-	}
-	data, err := runSuite(ncConfig(func(n *core.Config) { n.Sequencing = core.SeqDataEqual }), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, ptw, data := rs[0], rs[1], rs[2]
 	rep := &Report{ID: "fig8", Title: "Speedup from prioritizing PTW vs equal-count data accesses",
 		Columns: []string{"prioritize-ptw", "prioritize-data"},
 		Notes:   "PTW prioritization helps; prioritizing the same number of data accesses does not"}
@@ -199,14 +186,11 @@ func fig9(opt Options) (*Report, error) {
 }
 
 func fig12(opt Options) (*Report, error) {
-	plain, err := runSuite(stitchOnly(), opt)
+	rs, err := runSuites(opt, stitchOnly(), stitchPool(32, true))
 	if err != nil {
 		return nil, err
 	}
-	pooled, err := runSuite(stitchPool(32, true), opt)
-	if err != nil {
-		return nil, err
-	}
+	plain, pooled := rs[0], rs[1]
 	rep := &Report{ID: "fig12", Title: "Fraction of inter-cluster flits carrying stitched content",
 		Columns: []string{"stitch-only", "with-pooling"},
 		Notes:   "Flit Pooling significantly raises the stitched fraction"}
@@ -217,26 +201,13 @@ func fig12(opt Options) (*Report, error) {
 }
 
 func fig14(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt,
+		cluster.Baseline(), stitchPool(32, true), stitchTrim(),
+		cluster.WithNetCrafter(), sectorCache(16))
 	if err != nil {
 		return nil, err
 	}
-	st, err := runSuite(stitchPool(32, true), opt)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := runSuite(stitchTrim(), opt)
-	if err != nil {
-		return nil, err
-	}
-	full, err := runSuite(cluster.WithNetCrafter(), opt)
-	if err != nil {
-		return nil, err
-	}
-	sector, err := runSuite(sectorCache(16), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, st, tr, full, sector := rs[0], rs[1], rs[2], rs[3], rs[4]
 	rep := &Report{ID: "fig14", Title: "Speedup over the non-uniform baseline",
 		Columns: []string{"stitch", "stitch+trim", "netcrafter", "sector-cache"},
 		Notes:   "NetCrafter: up to ~1.64x, ~1.16x average; sector cache wins only on fine-grained random workloads"}
@@ -252,14 +223,11 @@ func fig14(opt Options) (*Report, error) {
 }
 
 func fig15(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.WithNetCrafter())
 	if err != nil {
 		return nil, err
 	}
-	full, err := runSuite(cluster.WithNetCrafter(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, full := rs[0], rs[1]
 	rep := &Report{ID: "fig15", Title: "Mean inter-cluster read latency, NetCrafter normalized to baseline",
 		Columns: []string{"baseline", "netcrafter"},
 		Notes:   "NetCrafter reduces inter-cluster latency on network-bound workloads"}
@@ -275,18 +243,11 @@ func fig15(opt Options) (*Report, error) {
 }
 
 func fig16(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.WithNetCrafter(), sectorCache(16))
 	if err != nil {
 		return nil, err
 	}
-	nc, err := runSuite(cluster.WithNetCrafter(), opt)
-	if err != nil {
-		return nil, err
-	}
-	sector, err := runSuite(sectorCache(16), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, nc, sector := rs[0], rs[1], rs[2]
 	rep := &Report{ID: "fig16", Title: "L1 MPKI",
 		Columns: []string{"baseline", "netcrafter-trim", "sector-16B"},
 		Notes:   "sector cache raises MPKI on coarse-grained workloads; NetCrafter trims only inter-cluster so stays lower"}
@@ -302,18 +263,19 @@ func fig17(opt Options) (*Report, error) {
 	rep := &Report{ID: "fig17", Title: "GEMM L1 MPKI vs granularity",
 		Columns: []string{"netcrafter-trim", "all-trim-sector"},
 		Notes:   "trimming beats all-trimming at every granularity; MPKI falls as granularity grows"}
-	for _, g := range []int{4, 8, 16} {
+	grans := []int{4, 8, 16}
+	cfgs := make([]cluster.Config, 0, 2*len(grans))
+	for _, g := range grans {
 		nc := cluster.WithNetCrafter()
 		nc.GPU.TrimBytes = g
-		ncRes, err := runSuite(nc, opt)
-		if err != nil {
-			return nil, err
-		}
-		secRes, err := runSuite(sectorCache(g), opt)
-		if err != nil {
-			return nil, err
-		}
-		rep.AddRow(fmt16(g), ncRes["MM2"].L1MPKI(), secRes["MM2"].L1MPKI())
+		cfgs = append(cfgs, nc, sectorCache(g))
+	}
+	rs, err := runSuites(opt, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range grans {
+		rep.AddRow(fmt16(g), rs[2*i]["MM2"].L1MPKI(), rs[2*i+1]["MM2"].L1MPKI())
 	}
 	return rep, nil
 }
@@ -330,32 +292,24 @@ func fmt16(g int) string {
 }
 
 func poolingSweep(id, title string, selective bool, opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt,
+		cluster.Baseline(), stitchOnly(),
+		stitchPool(32, selective), stitchPool(64, selective),
+		stitchPool(96, selective), stitchPool(128, selective))
 	if err != nil {
 		return nil, err
 	}
-	st, err := runSuite(stitchOnly(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, st := rs[0], rs[1]
 	rep := &Report{ID: id, Title: title,
 		Columns: []string{"stitch", "pool32", "pool64", "pool96", "pool128"},
 		Notes:   "32 cycles is the sweet spot; larger windows add latency without more stitching"}
-	results := map[sim.Cycle]map[string]*cluster.Result{}
-	for _, w := range []sim.Cycle{32, 64, 96, 128} {
-		r, err := runSuite(stitchPool(w, selective), opt)
-		if err != nil {
-			return nil, err
-		}
-		results[w] = r
-	}
 	for _, w := range opt.Workloads {
 		rep.AddRow(w,
 			speedup(base[w], st[w]),
-			speedup(base[w], results[32][w]),
-			speedup(base[w], results[64][w]),
-			speedup(base[w], results[96][w]),
-			speedup(base[w], results[128][w]))
+			speedup(base[w], rs[2][w]),
+			speedup(base[w], rs[3][w]),
+			speedup(base[w], rs[4][w]),
+			speedup(base[w], rs[5][w]))
 	}
 	rep.Mean()
 	return rep, nil
@@ -370,25 +324,17 @@ func fig19(opt Options) (*Report, error) {
 }
 
 func fig20(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
+	rs, err := runSuites(opt,
+		cluster.Baseline(), stitchOnly(),
+		stitchPool(32, true), stitchPool(64, true),
+		stitchPool(96, true), stitchPool(128, true))
 	if err != nil {
 		return nil, err
 	}
-	st, err := runSuite(stitchOnly(), opt)
-	if err != nil {
-		return nil, err
-	}
+	base, st := rs[0], rs[1]
 	rep := &Report{ID: "fig20", Title: "Inter-cluster wire bytes normalized to baseline",
 		Columns: []string{"stitch", "pool32", "pool64", "pool96", "pool128"},
 		Notes:   "stitching saves bytes; selective pooling saves more, flattening past 32 cycles"}
-	pooled := map[sim.Cycle]map[string]*cluster.Result{}
-	for _, w := range []sim.Cycle{32, 64, 96, 128} {
-		r, err := runSuite(stitchPool(w, true), opt)
-		if err != nil {
-			return nil, err
-		}
-		pooled[w] = r
-	}
 	norm := func(b, n *cluster.Result) float64 {
 		if b.Net.WireBytes.Value() == 0 {
 			return 1
@@ -398,10 +344,10 @@ func fig20(opt Options) (*Report, error) {
 	for _, w := range opt.Workloads {
 		rep.AddRow(w,
 			norm(base[w], st[w]),
-			norm(base[w], pooled[32][w]),
-			norm(base[w], pooled[64][w]),
-			norm(base[w], pooled[96][w]),
-			norm(base[w], pooled[128][w]))
+			norm(base[w], rs[2][w]),
+			norm(base[w], rs[3][w]),
+			norm(base[w], rs[4][w]),
+			norm(base[w], rs[5][w]))
 	}
 	return rep, nil
 }
@@ -410,16 +356,15 @@ func fig21(opt Options) (*Report, error) {
 	rep := &Report{ID: "fig21", Title: "Stitch + Selective Pooling speedup at 8B and 16B flits",
 		Columns: []string{"8B-flit", "16B-flit"},
 		Notes:   "stitching still helps at 8B flits but less than at 16B"}
+	rs, err := runSuites(opt,
+		withFlitSize(cluster.Baseline(), 8), withFlitSize(stitchPool(32, true), 8),
+		withFlitSize(cluster.Baseline(), 16), withFlitSize(stitchPool(32, true), 16))
+	if err != nil {
+		return nil, err
+	}
 	vals := map[int]map[string]float64{}
-	for _, fb := range []int{8, 16} {
-		base, err := runSuite(withFlitSize(cluster.Baseline(), fb), opt)
-		if err != nil {
-			return nil, err
-		}
-		st, err := runSuite(withFlitSize(stitchPool(32, true), fb), opt)
-		if err != nil {
-			return nil, err
-		}
+	for i, fb := range []int{8, 16} {
+		base, st := rs[2*i], rs[2*i+1]
 		vals[fb] = map[string]float64{}
 		for _, w := range opt.Workloads {
 			vals[fb][w] = speedup(base[w], st[w])
@@ -448,19 +393,20 @@ func fig22(opt Options) (*Report, error) {
 	rep := &Report{ID: "fig22", Title: "NetCrafter speedup across bandwidth configurations (GMEAN over workloads)",
 		Columns: []string{"netcrafter-speedup"},
 		Notes:   "gains persist across every ratio, largest when the network is most constrained"}
+	cfgs := make([]cluster.Config, 0, 2*len(cases))
 	for _, cs := range cases {
 		base := cluster.Baseline()
 		base.IntraGBps, base.InterGBps = cs.intra, cs.inter
 		nc := cluster.WithNetCrafter()
 		nc.IntraGBps, nc.InterGBps = cs.intra, cs.inter
-		bres, err := runSuite(base, opt)
-		if err != nil {
-			return nil, err
-		}
-		nres, err := runSuite(nc, opt)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, base, nc)
+	}
+	rs, err := runSuites(opt, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, cs := range cases {
+		bres, nres := rs[2*i], rs[2*i+1]
 		sp := make([]float64, 0, len(opt.Workloads))
 		for _, w := range opt.Workloads {
 			sp = append(sp, speedup(bres[w], nres[w]))

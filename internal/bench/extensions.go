@@ -20,20 +20,13 @@ func init() {
 // with write trimming enabled, reporting speedups over the baseline and
 // the inter-cluster byte reduction.
 func extTrimWrites(opt Options) (*Report, error) {
-	base, err := runSuite(cluster.Baseline(), opt)
-	if err != nil {
-		return nil, err
-	}
-	paper, err := runSuite(cluster.WithNetCrafter(), opt)
-	if err != nil {
-		return nil, err
-	}
 	tw := cluster.WithNetCrafter()
 	tw.NetCrafter.TrimWrites = true
-	twRes, err := runSuite(tw, opt)
+	rs, err := runSuites(opt, cluster.Baseline(), cluster.WithNetCrafter(), tw)
 	if err != nil {
 		return nil, err
 	}
+	base, paper, twRes := rs[0], rs[1], rs[2]
 	rep := &Report{ID: "ext-trimwrites", Title: "Read-trim vs read+write-trim",
 		Columns: []string{"netcrafter", "with-write-trim", "bytes-ratio"},
 		Notes:   "extension: write-heavy sparse workloads gain additional byte savings"}
@@ -54,19 +47,21 @@ func extScaling(opt Options) (*Report, error) {
 	rep := &Report{ID: "ext-scaling", Title: "NetCrafter speedup by cluster count (GMEAN over workloads)",
 		Columns: []string{"netcrafter-speedup", "baseline-util"},
 		Notes:   "extension: gains persist (or grow) as more clusters share the slow tier"}
-	for _, clusters := range []int{2, 4} {
+	counts := []int{2, 4}
+	cfgs := make([]cluster.Config, 0, 2*len(counts))
+	for _, clusters := range counts {
 		base := cluster.Baseline()
 		base.GPUs = clusters * base.GPUsPerCluster
 		nc := cluster.WithNetCrafter()
 		nc.GPUs = clusters * nc.GPUsPerCluster
-		bres, err := runSuite(base, opt)
-		if err != nil {
-			return nil, err
-		}
-		nres, err := runSuite(nc, opt)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, base, nc)
+	}
+	rs, err := runSuites(opt, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, clusters := range counts {
+		bres, nres := rs[2*i], rs[2*i+1]
 		sp := make([]float64, 0, len(opt.Workloads))
 		util := 0.0
 		for _, w := range opt.Workloads {
@@ -86,16 +81,13 @@ func init() {
 // an unbiased (well-mapped) baseline: pattern-blind round-robin
 // placement must not beat it.
 func extPlacement(opt Options) (*Report, error) {
-	laspRes, err := runSuite(cluster.Baseline(), opt)
-	if err != nil {
-		return nil, err
-	}
 	rr := cluster.Baseline()
 	rr.Placement = lasp.PolicyRoundRobin
-	rrRes, err := runSuite(rr, opt)
+	rs, err := runSuites(opt, cluster.Baseline(), rr)
 	if err != nil {
 		return nil, err
 	}
+	laspRes, rrRes := rs[0], rs[1]
 	rep := &Report{ID: "ext-placement", Title: "Round-robin placement slowdown vs LASP",
 		Columns: []string{"roundrobin-vs-lasp", "lasp-util", "rr-util"},
 		Notes:   "extension: LASP should win (ratio <= 1) on partitioned workloads by keeping accesses local"}

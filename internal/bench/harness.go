@@ -5,6 +5,26 @@
 // numbers differ from the paper's testbed; the shapes (who wins, by
 // how much, where the crossovers are) are the reproduction target —
 // EXPERIMENTS.md records both.
+//
+// # Execution model
+//
+// An experiment expands into a matrix of cells, one (configuration,
+// workload) simulation each. Cells are independent deterministic tasks
+// on private engines, so the harness fans them out across a worker
+// pool (Options.Parallel, default GOMAXPROCS) and re-aggregates in
+// submission order; any parallelism setting yields byte-identical
+// reports, only wall-clock changes. Options.Progress streams per-cell
+// completion events for live sweep UIs.
+//
+// # Perf trajectory
+//
+// RunSweep executes a list of experiments and emits a Trajectory — a
+// machine-readable manifest (BENCH_<scale>.json) fingerprinting the
+// run (scale, seed, workloads, fabric hash, git describe) and
+// recording the simulator's own throughput per experiment (cells/sec,
+// simulated cycles per host second). Manifests double as checkpoints:
+// a resumed sweep skips experiments whose reports the previous
+// manifest already holds. See EXPERIMENTS.md, "Reproducing this file".
 package bench
 
 import (
@@ -27,6 +47,23 @@ type Options struct {
 	Workloads []string
 	// Limit is the per-kernel cycle budget.
 	Limit sim.Cycle
+	// Parallel caps the worker goroutines fanning experiment cells out
+	// (<= 0 means GOMAXPROCS). Every simulation cell is an independent
+	// deterministic task on its own engine, so any setting produces
+	// byte-identical reports; Parallel only changes wall-clock time.
+	Parallel int
+	// Progress, when set, receives one event per finished cell, in
+	// completion order. Calls within one batch are serialized; a run
+	// that executes batches concurrently may invoke it from several
+	// goroutines.
+	Progress func(Progress)
+
+	// exp is the id of the experiment being run, stamped by Run for
+	// Progress events.
+	exp string
+	// stats, when set (RunMeasured), accumulates executed-cell totals
+	// for trajectory manifests.
+	stats *sweepStats
 }
 
 // DefaultOptions returns bench-friendly options: the Small scale over
@@ -185,21 +222,9 @@ func Run(id string, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(opt.withDefaults())
-}
-
-// runSuite executes cfg over the option's workloads and returns the
-// per-workload results.
-func runSuite(cfg cluster.Config, opt Options) (map[string]*cluster.Result, error) {
-	out := make(map[string]*cluster.Result, len(opt.Workloads))
-	for _, name := range opt.Workloads {
-		r, err := cluster.RunOne(cfg, name, opt.Scale, opt.Limit)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
-		}
-		out[name] = r
-	}
-	return out, nil
+	opt = opt.withDefaults()
+	opt.exp = id
+	return e.Run(opt)
 }
 
 // speedup returns base/new cycle ratio.

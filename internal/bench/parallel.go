@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/sim"
+)
+
+// The parallel cell executor. An experiment is a matrix of independent
+// simulation cells — one (configuration, workload) pair each — and every
+// cell builds its own System with its own Engine, so cells share no
+// mutable state and fan out across a worker pool without coordination.
+// Determinism is preserved by construction: each cell's result depends
+// only on its own deterministic simulation, and aggregation reads the
+// results in submission order, so any Parallel setting produces
+// byte-identical reports (pinned by TestParallelMatchesSerial).
+
+// Progress describes one finished experiment cell. The harness streams
+// these to Options.Progress as cells complete (completion order, not
+// submission order), letting front ends render live sweep progress.
+type Progress struct {
+	// Experiment is the id of the running experiment ("" for direct
+	// runSuite callers outside the registry).
+	Experiment string
+	// Workload is the cell's workload name.
+	Workload string
+	// Config is the index of the cell's configuration within the batch.
+	Config int
+	// Cell counts finished cells in this batch (1-based); Cells is the
+	// batch size.
+	Cell, Cells int
+	// SimCycles is the simulated time the cell covered; Wall is the
+	// host time it took; Throughput is SimCycles/Wall in cycles/sec.
+	SimCycles sim.Cycle
+	Wall      time.Duration
+	// Err is the cell's failure, if any (the batch still drains).
+	Err error
+}
+
+// Throughput returns the cell's simulator speed in simulated cycles per
+// host second (0 when the cell failed or took no measurable time).
+func (p Progress) Throughput() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.SimCycles) / p.Wall.Seconds()
+}
+
+// sweepStats accumulates executed-cell totals across every batch of one
+// measured run (see RunMeasured). Worker goroutines of concurrent
+// batches may add simultaneously.
+type sweepStats struct {
+	cells     atomic.Int64
+	simCycles atomic.Int64
+	wall      atomic.Int64 // nanoseconds
+}
+
+func (s *sweepStats) add(cycles sim.Cycle, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	s.cells.Add(1)
+	s.simCycles.Add(int64(cycles))
+	s.wall.Add(int64(wall))
+}
+
+// parallelism resolves the worker count: Options.Parallel, defaulting
+// to GOMAXPROCS, never less than 1.
+func (o Options) parallelism() int {
+	p := o.Parallel
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// cellKey maps a flat batch index to its (configuration, workload)
+// coordinates.
+func cellKey(o Options, i int) (cfg int, workload string) {
+	return i / len(o.Workloads), o.Workloads[i%len(o.Workloads)]
+}
+
+// runSuites executes the full (configuration x workload) matrix through
+// a worker pool and returns one per-workload result map per
+// configuration, in argument order. All cells run even if one fails;
+// the error returned is the first failing cell in submission order, so
+// failures are as deterministic as successes. This is the fan-out point
+// of every experiment: batching all of an experiment's configurations
+// into one call keeps the pool saturated across suite boundaries.
+func runSuites(opt Options, cfgs ...cluster.Config) ([]map[string]*cluster.Result, error) {
+	type cellOut struct {
+		res *cluster.Result
+		err error
+	}
+	n := len(cfgs) * len(opt.Workloads)
+	if n == 0 {
+		return make([]map[string]*cluster.Result, len(cfgs)), nil
+	}
+	out := make([]cellOut, n)
+
+	workers := opt.parallelism()
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		pmu  sync.Mutex // serializes Progress callbacks and the done count
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				ci, name := cellKey(opt, i)
+				t0 := time.Now()
+				r, err := cluster.RunOne(cfgs[ci], name, opt.Scale, opt.Limit)
+				out[i] = cellOut{res: r, err: err}
+
+				var cycles sim.Cycle
+				var wall time.Duration
+				if r != nil {
+					cycles, wall = r.Cycles, r.Wall
+				}
+				if wall == 0 {
+					wall = time.Since(t0)
+				}
+				opt.stats.add(cycles, wall)
+				if opt.Progress != nil {
+					pmu.Lock()
+					done++
+					opt.Progress(Progress{
+						Experiment: opt.exp,
+						Workload:   name,
+						Config:     ci,
+						Cell:       done,
+						Cells:      n,
+						SimCycles:  cycles,
+						Wall:       wall,
+						Err:        err,
+					})
+					pmu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range out {
+		if out[i].err != nil {
+			_, name := cellKey(opt, i)
+			return nil, fmt.Errorf("bench: %s: %w", name, out[i].err)
+		}
+	}
+	results := make([]map[string]*cluster.Result, len(cfgs))
+	for ci := range cfgs {
+		m := make(map[string]*cluster.Result, len(opt.Workloads))
+		for wi, name := range opt.Workloads {
+			m[name] = out[ci*len(opt.Workloads)+wi].res
+		}
+		results[ci] = m
+	}
+	return results, nil
+}
+
+// runSuite executes one configuration over the option's workloads — a
+// one-configuration batch through the same pool.
+func runSuite(cfg cluster.Config, opt Options) (map[string]*cluster.Result, error) {
+	rs, err := runSuites(opt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/workload"
+)
+
+// reportBytes renders a report to its canonical JSON bytes.
+func reportBytes(t *testing.T, rep *Report) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSerial pins the executor's determinism contract:
+// the same experiment aggregated from 1 worker and from 8 workers must
+// produce byte-identical reports, and a repeat parallel run must too
+// (aggregation order cannot depend on completion order).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, id := range []string{"fig3", "fig12"} {
+		opt := tinyOpts("GUPS", "SPMV")
+		opt.Parallel = 1
+		serial, err := Run(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Parallel = 8
+		par, err := Run(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Run(id, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reportBytes(t, serial)
+		if got := reportBytes(t, par); got != want {
+			t.Errorf("%s: -parallel 8 report differs from -parallel 1:\nserial:\n%s\nparallel:\n%s", id, want, got)
+		}
+		if got := reportBytes(t, again); got != want {
+			t.Errorf("%s: repeat parallel run not reproducible", id)
+		}
+	}
+}
+
+// TestRunSuitesDeterministicError pins that a failing batch reports the
+// first failing cell in submission order, regardless of which worker
+// finishes first.
+func TestRunSuitesDeterministicError(t *testing.T) {
+	opt := Options{
+		Scale:     workload.Tiny(),
+		Workloads: []string{"GUPS", "SPMV"},
+		Limit:     10, // guarantees every cell hits the cycle limit
+		Parallel:  8,
+	}
+	var first string
+	for i := 0; i < 5; i++ {
+		_, err := runSuites(opt, cluster.Baseline(), cluster.Ideal())
+		if err == nil {
+			t.Fatal("10-cycle limit did not fail")
+		}
+		if !strings.Contains(err.Error(), "GUPS") {
+			t.Fatalf("error is not the first submitted cell's: %v", err)
+		}
+		if first == "" {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("error not deterministic across runs:\n%s\n%s", first, err.Error())
+		}
+	}
+}
+
+// TestProgressStreams checks that every cell of a batch emits exactly
+// one event, with a serialized 1..n completion counter and the
+// experiment id stamped by Run.
+func TestProgressStreams(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	opt := tinyOpts("GUPS", "SPMV")
+	opt.Parallel = 4
+	opt.Progress = func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}
+	if _, err := Run("fig3", opt); err != nil {
+		t.Fatal(err)
+	}
+	// fig3 = 2 configs x 2 workloads.
+	if len(events) != 4 {
+		t.Fatalf("got %d progress events, want 4", len(events))
+	}
+	seen := map[int]bool{}
+	for _, p := range events {
+		if p.Experiment != "fig3" {
+			t.Errorf("event experiment %q, want fig3", p.Experiment)
+		}
+		if p.Cells != 4 || p.Cell < 1 || p.Cell > 4 {
+			t.Errorf("bad cell counter %d/%d", p.Cell, p.Cells)
+		}
+		if seen[p.Cell] {
+			t.Errorf("cell counter %d repeated", p.Cell)
+		}
+		seen[p.Cell] = true
+		if p.Err != nil {
+			t.Errorf("cell failed: %v", p.Err)
+		}
+		if p.SimCycles <= 0 || p.Wall <= 0 || p.Throughput() <= 0 {
+			t.Errorf("cell missing self-reported throughput: %+v", p)
+		}
+	}
+}
+
+// TestConcurrentExperimentsRace hammers the harness from several
+// goroutines at once — concurrent experiments, each internally
+// parallel — so `go test -race ./internal/bench/...` proves the
+// fan-out shares no mutable state across cells.
+func TestConcurrentExperimentsRace(t *testing.T) {
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opt := tinyOpts("GUPS")
+			opt.Parallel = 2
+			if _, err := Run("fig12", opt); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelismDefault pins the GOMAXPROCS default and the floor.
+func TestParallelismDefault(t *testing.T) {
+	if got := (Options{}).parallelism(); got < 1 {
+		t.Fatalf("default parallelism %d < 1", got)
+	}
+	if got := (Options{Parallel: 3}).parallelism(); got != 3 {
+		t.Fatalf("explicit parallelism not honored: %d", got)
+	}
+	if got := (Options{Parallel: -7}).parallelism(); got < 1 {
+		t.Fatalf("negative parallelism not clamped: %d", got)
+	}
+}

@@ -43,22 +43,21 @@ func extTopoScale(opt Options) (*Report, error) {
 	rep := &Report{ID: "ext-toposcale", Title: "Fabric scaling sweep (GMEAN over workloads)",
 		Columns: []string{"ideal-speedup", "nc-speedup", "nc-bytes-ratio"},
 		Notes:   "extension: NetCrafter keeps cutting inter-cluster bytes as fabrics grow"}
+	cfgs := make([]cluster.Config, 0, 3*len(topoScaleCombos))
 	for _, combo := range topoScaleCombos {
 		nonUniform := topo.FrontierNode(combo.gpus, combo.clusters, topoScaleIntraBW, topoScaleInterBW, 1)
 		uniform := topo.FrontierNode(combo.gpus, combo.clusters, topoScaleIntraBW, topoScaleIntraBW, 1)
-
-		base, err := runSuite(cluster.Baseline().WithTopology(nonUniform), opt)
-		if err != nil {
-			return nil, err
-		}
-		ideal, err := runSuite(cluster.Baseline().WithTopology(uniform), opt)
-		if err != nil {
-			return nil, err
-		}
-		nc, err := runSuite(cluster.WithNetCrafter().WithTopology(nonUniform), opt)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs,
+			cluster.Baseline().WithTopology(nonUniform),
+			cluster.Baseline().WithTopology(uniform),
+			cluster.WithNetCrafter().WithTopology(nonUniform))
+	}
+	rs, err := runSuites(opt, cfgs...)
+	if err != nil {
+		return nil, err
+	}
+	for i, combo := range topoScaleCombos {
+		base, ideal, nc := rs[3*i], rs[3*i+1], rs[3*i+2]
 
 		idealSp := make([]float64, 0, len(opt.Workloads))
 		ncSp := make([]float64, 0, len(opt.Workloads))

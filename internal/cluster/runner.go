@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"netcrafter/internal/lasp"
 	"netcrafter/internal/sim"
@@ -34,6 +35,12 @@ const instructionExpansion = 10
 type Result struct {
 	Workload string
 	Cycles   sim.Cycle
+
+	// Wall is the host wall-clock time the engine spent simulating this
+	// run — the cell's own cost, used by the benchmark harness to report
+	// simulator throughput. It is measurement metadata: deterministic
+	// report values must never be derived from it.
+	Wall time.Duration
 
 	Instructions int64
 	L1Accesses   int64
@@ -69,6 +76,15 @@ func (r *Result) L1MPKI() float64 {
 	return float64(r.L1Misses) / ki
 }
 
+// SimCyclesPerSec returns the run's simulator throughput: simulated
+// cycles advanced per host wall-clock second (0 if nothing was timed).
+func (r *Result) SimCyclesPerSec() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / r.Wall.Seconds()
+}
+
 // Speedup returns base.Cycles / r.Cycles (how much faster r is).
 func (r *Result) Speedup(base *Result) float64 {
 	if r.Cycles == 0 {
@@ -93,6 +109,7 @@ func waveSeed(seed uint64, kernel, cta, wave int) uint64 {
 func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, error) {
 	s.Load(spec)
 	start := s.Engine.Now()
+	wallStart := s.Engine.WallTime()
 	for ki, k := range spec.Kernels {
 		placement := lasp.ScheduleCTAs(k, s.cfg.GPUs)
 		for cta := 0; cta < k.CTAs; cta++ {
@@ -109,7 +126,9 @@ func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, err
 			g.FlushL1()
 		}
 	}
-	return s.collect(spec.Name, s.Engine.Now()-start), nil
+	r := s.collect(spec.Name, s.Engine.Now()-start)
+	r.Wall = s.Engine.WallTime() - wallStart
+	return r, nil
 }
 
 func (s *System) collect(name string, cycles sim.Cycle) *Result {

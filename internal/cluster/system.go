@@ -98,6 +98,15 @@ func FlitsPerCycle(gbps, flitBytes int) int {
 	return f
 }
 
+// Graph returns the validated topology graph this configuration would
+// instantiate — the explicit Topo, or the FrontierNode equivalent of
+// the GPU-count/bandwidth fields. The benchmark harness fingerprints
+// it (via its DOT rendering) into run manifests.
+func (c Config) Graph() (*topo.Graph, error) {
+	_, g, err := c.resolve()
+	return g, err
+}
+
 // resolve normalizes the configuration and produces the topology graph
 // to instantiate — the explicit Topo, or the FrontierNode equivalent of
 // the legacy GPU-count/bandwidth fields.

@@ -10,6 +10,17 @@
 // and performs zero allocations, so component hot paths carry
 // unconditional instrumentation calls without a cost when observability
 // is off. Enabled instruments are safe for concurrent use.
+//
+// # Isolation contract
+//
+// The package holds no global mutable state: every instrument belongs
+// to exactly one Registry and every span to one SpanRecorder, both
+// plain values handed to cluster.System.AttachObs. The parallel
+// benchmark harness relies on this — concurrent simulation cells each
+// attach their own registry and cannot bleed counts into one another
+// (pinned by TestRegistryIsolation under the race detector). Sharing a
+// single registry between concurrent systems is also safe, merely
+// aggregated: instruments are internally locked or atomic.
 package obs
 
 import (

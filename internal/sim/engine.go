@@ -12,6 +12,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Cycle is a point in simulated time, measured in clock cycles of the
@@ -42,6 +43,13 @@ type Engine struct {
 	now     Cycle
 	tickers []Ticker
 	names   []string
+
+	// wall accumulates the host wall-clock time spent inside RunUntil
+	// and Run, so a finished engine can self-report its simulation
+	// throughput (simulated cycles per host second). The clock is read
+	// once on entry and once on exit of each drive call, never in the
+	// per-cycle loop, so the hot path is unaffected.
+	wall time.Duration
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
@@ -85,6 +93,8 @@ func (e *Engine) Step() bool {
 // a full tick round makes no progress, the engine jumps directly to the
 // earliest hinted wake-up cycle.
 func (e *Engine) RunUntil(done func() bool, limit Cycle) (Cycle, error) {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
 	for e.now < limit {
 		if done() {
 			return e.now, nil
@@ -113,6 +123,8 @@ func (e *Engine) RunUntil(done func() bool, limit Cycle) (Cycle, error) {
 // Run advances time for exactly n cycles (idle skipping still applies to
 // the internal clock, but the full n cycles of simulated time elapse).
 func (e *Engine) Run(n Cycle) {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
 	end := e.now + n
 	for e.now < end {
 		if !e.Step() {
@@ -125,6 +137,22 @@ func (e *Engine) Run(n Cycle) {
 			}
 		}
 	}
+}
+
+// WallTime returns the host wall-clock time the engine has spent
+// driving components (inside RunUntil and Run).
+func (e *Engine) WallTime() time.Duration { return e.wall }
+
+// Throughput returns the engine's simulation rate so far in simulated
+// cycles per host wall-clock second, or 0 before the engine has run.
+// Idle-skipped stretches count as simulated cycles (they elapse on the
+// simulated clock), so the figure is "simulated time per host time",
+// the number a sweep harness reports as per-cell simulator throughput.
+func (e *Engine) Throughput() float64 {
+	if e.wall <= 0 {
+		return 0
+	}
+	return float64(e.now) / e.wall.Seconds()
 }
 
 func (e *Engine) nextWake() Cycle {

@@ -7,6 +7,19 @@
 // routing tables (BFS with stable tie-breaks) and package cluster can
 // instantiate the graph as a runnable system, placing a NetCrafter
 // controller at every cluster-boundary egress the graph identifies.
+//
+// # Conventions
+//
+// Nodes are named; a Device's slice position is its GPU index and
+// flit.DeviceID. Every node carries a cluster id, with Backbone (-1)
+// marking switches that belong to the inter-cluster fabric itself. A
+// link is cluster-boundary (Boundary) when its endpoints' clusters
+// differ — those are the slow, controller-managed edges of the paper's
+// non-uniform hierarchy. Bandwidths are integer flits/cycle per
+// direction (8 = 128 GB/s at the default 16-byte flit; asymmetric
+// directions via BWBack), latencies in sim.Cycle. DOT renders any graph
+// for Graphviz, and the benchmark harness fingerprints fabrics by
+// hashing that rendering into sweep manifests.
 package topo
 
 import "netcrafter/internal/sim"

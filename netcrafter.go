@@ -225,8 +225,14 @@ func BreakdownReport(b *LatencyBreakdown) *Report { return bench.BreakdownReport
 // Report is a regenerated table or figure.
 type Report = bench.Report
 
-// ExperimentOptions controls experiment regeneration.
+// ExperimentOptions controls experiment regeneration, including the
+// worker-pool fan-out (Parallel) and per-cell progress streaming
+// (Progress). Reports are byte-identical at any Parallel setting.
 type ExperimentOptions = bench.Options
+
+// ExperimentProgress is one finished experiment cell, streamed to
+// ExperimentOptions.Progress as the pool completes cells.
+type ExperimentProgress = bench.Progress
 
 // Experiments lists the regenerable paper artifacts (table1..3,
 // fig3..fig22).
@@ -236,6 +242,27 @@ func Experiments() []string { return bench.IDs() }
 func RunExperiment(id string, opt ExperimentOptions) (*Report, error) {
 	return bench.Run(id, opt)
 }
+
+// Trajectory is the machine-readable manifest of one benchmark sweep:
+// what ran (experiments, workloads, scale, seed, fabric fingerprint),
+// every regenerated report, and the simulator's own throughput
+// (cells/sec, simulated cycles per host second). Sweeps write one as
+// BENCH_<scale>.json so the perf trajectory accumulates across
+// revisions.
+type Trajectory = bench.Trajectory
+
+// SweepOptions configures RunSweep (experiment options plus the scale
+// tag, an optional manifest to resume from, and a per-experiment
+// callback).
+type SweepOptions = bench.SweepOptions
+
+// RunSweep executes a list of experiments through the parallel harness
+// and returns the sweep manifest; see bench.RunSweep for resume
+// semantics.
+func RunSweep(ids []string, so SweepOptions) (*Trajectory, error) { return bench.RunSweep(ids, so) }
+
+// ReadTrajectory parses a sweep manifest written by Trajectory.Write.
+func ReadTrajectory(r io.Reader) (*Trajectory, error) { return bench.ReadTrajectory(r) }
 
 // Table1Row is one row of the paper's Table 1.
 type Table1Row = flit.Table1Row
