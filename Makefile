@@ -7,10 +7,10 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz-smoke topo-dot \
-	docs-check arch-dot sweep-smoke sweep-small
+.PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
+	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small
 
-ci: fmt vet build race fuzz-smoke docs-check sweep-smoke
+ci: fmt vet build race fuzz-smoke docs-check bench-micro-smoke sweep-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,6 +30,22 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./internal/obs/ ./...
+
+# The engine/queue/scheduler/fabric hot-path micro-benchmarks that the
+# wake-scheduled engine work is measured by. `bench-micro` gives real
+# numbers; `bench-micro-smoke` (in ci) just proves they still compile,
+# run, and hold their 0 allocs/op pins.
+bench-micro:
+	$(GO) test -run='^$$' -bench='BenchmarkEngine|BenchmarkQueue|BenchmarkScheduler' \
+		-benchmem -count=3 ./internal/sim
+	$(GO) test -run='^$$' -bench='BenchmarkSwitch|BenchmarkLink' \
+		-benchmem -count=3 ./internal/network
+
+bench-micro-smoke:
+	$(GO) test -run='NoAllocs' -bench='BenchmarkEngine|BenchmarkQueue|BenchmarkScheduler' \
+		-benchmem -count=1 -benchtime=100x ./internal/sim
+	$(GO) test -run='NoAllocs' -bench='BenchmarkSwitch|BenchmarkLink' \
+		-benchmem -count=1 -benchtime=100x ./internal/network
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo

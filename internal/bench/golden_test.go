@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"netcrafter/internal/workload"
+)
+
+// The golden determinism pin: the wake-scheduled engine (and any future
+// engine change) must reproduce the committed small-sweep artifacts
+// exactly. The fig3 experiment at small scale is re-run here and its
+// simulated-cycle total and full report text are compared against
+// BENCH_small.json and results_small.txt byte for byte. A mismatch
+// means the engine's processed-cycle sequence — and therefore
+// arbitration order — changed; that is a correctness bug, not drift.
+
+// goldenExperiments are the pinned subset: fig3 is the headline
+// network-bound experiment; fig17 is a cheap second opinion exercising
+// a different report shape. The full sweep is pinned offline whenever
+// BENCH_small.json is regenerated.
+var goldenExperiments = []string{"fig3", "fig17"}
+
+func TestGoldenSmallSweepPin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scale experiments take several seconds")
+	}
+
+	f, err := os.Open("../../BENCH_small.json")
+	if err != nil {
+		t.Fatalf("committed manifest missing: %v", err)
+	}
+	defer f.Close()
+	traj, err := ReadTrajectory(f)
+	if err != nil {
+		t.Fatalf("parse BENCH_small.json: %v", err)
+	}
+	txt, err := os.ReadFile("../../results_small.txt")
+	if err != nil {
+		t.Fatalf("committed results missing: %v", err)
+	}
+
+	for _, id := range goldenExperiments {
+		t.Run(id, func(t *testing.T) {
+			want := traj.Entry(id)
+			if want == nil {
+				t.Fatalf("BENCH_small.json has no %s entry", id)
+			}
+			rep, st, err := RunMeasured(id, Options{
+				Scale:     workload.Small(),
+				Workloads: traj.Workloads,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if st.SimCycles != want.SimCycles {
+				t.Errorf("%s small: simulated %d cycles, manifest pins %d — engine determinism broken",
+					id, st.SimCycles, want.SimCycles)
+			}
+			if st.Cells != want.Cells {
+				t.Errorf("%s small: ran %d cells, manifest pins %d", id, st.Cells, want.Cells)
+			}
+
+			got := rep.String()
+			if wantRep := want.Report.String(); got != wantRep {
+				t.Errorf("report diverged from BENCH_small.json:\n--- manifest\n%s\n--- got\n%s", wantRep, got)
+			}
+
+			// results_small.txt is the concatenation of the sweep's
+			// report strings; pin our section byte for byte as well.
+			section := extractSection(string(txt), id)
+			if section == "" {
+				t.Fatalf("results_small.txt has no %s section", id)
+			}
+			if section != got {
+				t.Errorf("report diverged from results_small.txt:\n--- committed\n%s\n--- got\n%s", section, got)
+			}
+		})
+	}
+}
+
+// extractSection returns the report block for the given experiment id
+// from a concatenated results file: from its "== id:" header up to (not
+// including) the next experiment header.
+func extractSection(txt, id string) string {
+	header := "== " + id + ": "
+	start := strings.Index(txt, header)
+	if start < 0 {
+		return ""
+	}
+	rest := txt[start:]
+	if end := strings.Index(rest[len(header):], "\n== "); end >= 0 {
+		// The match lands on the blank separator line fmt.Println added
+		// after the report's own trailing newline; exclude it.
+		return rest[:len(header)+end]
+	}
+	return strings.TrimSuffix(rest, "\n")
+}

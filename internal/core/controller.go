@@ -169,7 +169,7 @@ func (c *Controller) tickIngress(now sim.Cycle) bool {
 		if c.Local.Out.Space() < 1+len(in.Stitched) {
 			break
 		}
-		c.Remote.In.Pop(now)
+		c.Remote.In.PopReady() // readiness established by Peek above
 		if len(in.Stitched) > 0 {
 			c.Trace.Record(trace.FlitEvent(trace.KindUnstitch, c.Name, now, in))
 		}
@@ -197,7 +197,7 @@ func (c *Controller) tickIntake(now sim.Cycle) bool {
 		if c.perDst[dst] >= c.perDstCap {
 			break // back-pressure into the cluster switch
 		}
-		c.Local.In.Pop(now)
+		c.Local.In.PopReady() // readiness established by Peek above
 		busy = true
 		if c.cfg.EnableTrim && c.intakeTrim(f, now) {
 			continue
@@ -412,7 +412,7 @@ func (c *Controller) serve(p *partition, now sim.Cycle) bool {
 	if c.cfg.EnableStitch && parent.EmptyBytes() >= smallestCandidateBytes {
 		// The head must be popped before the candidate search so it
 		// cannot select itself.
-		p.q.Pop(now)
+		p.q.PopReady()
 		if c.stitchInto(parent, p, now) == 0 && c.canPool(p, now) {
 			p.pooledFlit = parent
 			p.poolDeadline = now + c.cfg.PoolingCycles
@@ -424,7 +424,7 @@ func (c *Controller) serve(p *partition, now sim.Cycle) bool {
 		c.eject(parent, now)
 		return true
 	}
-	p.q.Pop(now)
+	p.q.PopReady()
 	c.eject(parent, now)
 	return true
 }
@@ -569,6 +569,16 @@ func (c *Controller) QueuedFlits() int {
 	return n
 }
 
+// SetWaker implements sim.WakerAware: deliveries into either external
+// input (from the cluster switch or the inter-cluster link) re-arm the
+// controller. The partition queues and the pooling deadline are fed
+// only from the controller's own tick, so NextWake re-arming covers
+// them.
+func (c *Controller) SetWaker(w *sim.Waker) {
+	c.Local.In.SetWaker(w)
+	c.Remote.In.SetWaker(w)
+}
+
 // NextWake implements sim.WakeHinter.
 func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
 	wake := sim.CycleMax
@@ -581,7 +591,12 @@ func (c *Controller) NextWake(now sim.Cycle) sim.Cycle {
 	min(c.Remote.In.NextReady())
 	for _, p := range c.parts {
 		if p.pooledFlit != nil {
-			min(p.poolDeadline)
+			// A pooled flit is ejected on the first cycle the wire would
+			// otherwise go idle (see ejectOne), not just at its window
+			// deadline — that decision reads global controller state, so
+			// the controller must run every cycle while anything is
+			// pooled.
+			return now + 1
 		}
 		if p.q.Len() > 0 {
 			min(p.q.NextReady())

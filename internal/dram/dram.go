@@ -96,7 +96,7 @@ func (d *DRAM) Tick(now sim.Cycle) bool {
 		if start >= (int64(now)+1)*bpc {
 			break
 		}
-		d.q.Pop(now)
+		d.q.PopReady() // readiness established by Peek above
 		end := start + int64(r.Bytes)
 		d.busFreeAt = end
 		if r.Write {
@@ -118,6 +118,11 @@ func (d *DRAM) Tick(now sim.Cycle) bool {
 	}
 	return busy
 }
+
+// SetWaker implements sim.WakerAware: Access is called from the memory
+// partitions' scheduler callbacks, so a sleeping DRAM must be re-armed
+// when a request lands in its queue.
+func (d *DRAM) SetWaker(w *sim.Waker) { d.q.SetWaker(w) }
 
 // NextWake implements sim.WakeHinter.
 func (d *DRAM) NextWake(now sim.Cycle) sim.Cycle {

@@ -43,6 +43,10 @@ type wavefront struct {
 	prog        workload.Program
 	outstanding int
 	cu          *CU
+	// stepFn is the reusable "advance this wavefront" callback; every
+	// instruction boundary reschedules the same closure instead of
+	// allocating a fresh one per instruction.
+	stepFn func(sim.Cycle)
 }
 
 // pendingRead parks a read on an L1 MSHR entry.
@@ -52,6 +56,9 @@ type pendingRead struct {
 	bytes  int
 	needed cache.SectorMask
 	done   func(sim.Cycle)
+	// retryFn is the reusable MSHR-stall poll callback, created on the
+	// first stall (most reads never stall).
+	retryFn func(sim.Cycle)
 }
 
 func newCU(name string, id int, g *GPU) *CU {
@@ -74,7 +81,8 @@ func (cu *CU) freeSlots() int { return cu.cfg.WavefrontSlots - cu.active }
 func (cu *CU) start(prog workload.Program, now sim.Cycle) {
 	cu.active++
 	wf := &wavefront{prog: prog, cu: cu}
-	cu.sched.After(now, 1, func(at sim.Cycle) { cu.step(wf, at) })
+	wf.stepFn = func(at sim.Cycle) { cu.step(wf, at) }
+	cu.sched.After(now, 1, wf.stepFn)
 }
 
 // step fetches and issues the wavefront's next instruction.
@@ -87,7 +95,7 @@ func (cu *CU) step(wf *wavefront, now sim.Cycle) {
 	}
 	cu.Stats.Instructions.Inc()
 	if len(in.Accesses) == 0 {
-		cu.sched.After(now, sim.Cycle(in.ComputeCycles)+1, func(at sim.Cycle) { cu.step(wf, at) })
+		cu.sched.After(now, sim.Cycle(in.ComputeCycles)+1, wf.stepFn)
 		return
 	}
 	wf.outstanding = len(in.Accesses)
@@ -95,7 +103,7 @@ func (cu *CU) step(wf *wavefront, now sim.Cycle) {
 	done := func(at sim.Cycle) {
 		wf.outstanding--
 		if wf.outstanding == 0 {
-			cu.sched.After(at, compute+1, func(at2 sim.Cycle) { cu.step(wf, at2) })
+			cu.sched.After(at, compute+1, wf.stepFn)
 		}
 	}
 	// The coalescer issues up to CoalescerWidth line requests per
@@ -109,9 +117,8 @@ func (cu *CU) step(wf *wavefront, now sim.Cycle) {
 
 // issue translates one access and routes it to the load or store path.
 func (cu *CU) issue(wf *wavefront, a workload.LineAccess, now sim.Cycle, done func(sim.Cycle)) {
-	cu.Stats.LineAccesses.Inc()
 	vpn := vm.VPN(a.VAddr)
-	ok := cu.L1TLB.Translate(vpn, now, func(base uint64, at sim.Cycle) {
+	routed := func(base uint64, at sim.Cycle) {
 		paddr := base + (a.VAddr & (vm.PageBytes - 1))
 		if a.Write {
 			cu.write(paddr, a.Bytes, at)
@@ -119,11 +126,26 @@ func (cu *CU) issue(wf *wavefront, a workload.LineAccess, now sim.Cycle, done fu
 			return
 		}
 		cu.read(wf, paddr, a.Bytes, at, done)
-	})
-	if !ok {
-		cu.Stats.Retries.Inc()
-		cu.sched.After(now, 4, func(at sim.Cycle) { cu.issue(wf, a, at, done) })
 	}
+	cu.Stats.LineAccesses.Inc()
+	if cu.L1TLB.Translate(vpn, now, routed) {
+		return
+	}
+	// TLB MSHRs full: poll with a single reusable closure (the
+	// recursive form re-allocated the translation callback on every
+	// attempt). Counters match the recursive form: LineAccesses per
+	// attempt, Retries per rejection.
+	cu.Stats.Retries.Inc()
+	var poll func(sim.Cycle)
+	poll = func(at sim.Cycle) {
+		cu.Stats.LineAccesses.Inc()
+		if cu.L1TLB.Translate(vpn, at, routed) {
+			return
+		}
+		cu.Stats.Retries.Inc()
+		cu.sched.After(at, 4, poll)
+	}
+	cu.sched.After(now, 4, poll)
 }
 
 // write performs a write-through store: update L1 if present, then
@@ -165,11 +187,20 @@ func (cu *CU) read(wf *wavefront, paddr uint64, bytes int, now sim.Cycle, done f
 			return
 		case cache.Stalled:
 			cu.Stats.Retries.Inc()
-			cu.sched.After(at, 4, func(at2 sim.Cycle) { cu.retryRead(lineAddr, pr, at2) })
+			cu.sched.After(at, 4, cu.retryFn(lineAddr, pr))
 			return
 		}
 		cu.fetch(lineAddr, pr, at)
 	})
+}
+
+// retryFn returns pr's reusable stall-poll closure, creating it on
+// first use so the common no-stall read never pays for it.
+func (cu *CU) retryFn(lineAddr uint64, pr *pendingRead) func(sim.Cycle) {
+	if pr.retryFn == nil {
+		pr.retryFn = func(at sim.Cycle) { cu.retryRead(lineAddr, pr, at) }
+	}
+	return pr.retryFn
 }
 
 // retryRead re-attempts an MSHR-stalled miss. The architectural access
@@ -185,7 +216,7 @@ func (cu *CU) retryRead(lineAddr uint64, pr *pendingRead, now sim.Cycle) {
 		return
 	case cache.Stalled:
 		cu.Stats.Retries.Inc()
-		cu.sched.After(now, 4, func(at sim.Cycle) { cu.retryRead(lineAddr, pr, at) })
+		cu.sched.After(now, 4, cu.retryFn(lineAddr, pr))
 		return
 	}
 	cu.fetch(lineAddr, pr, now)

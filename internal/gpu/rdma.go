@@ -225,13 +225,21 @@ func (r *RDMA) Tick(now sim.Cycle) bool {
 		if !ok || r.Port.Out.Full() {
 			break
 		}
-		r.sendQ.Pop(now)
+		r.sendQ.PopReady() // readiness established by Peek above
 		f.InjectedAt = now
 		f.Pkt.Span.To(obs.StageSrcNet, now)
 		r.Port.Out.Push(f, now)
 		busy = true
 	}
 	return busy
+}
+
+// SetWaker implements sim.WakerAware: arrivals on the network port and
+// sends enqueued by scheduler-driven protocol handlers (request
+// issues, response builds) both re-arm the engine.
+func (r *RDMA) SetWaker(w *sim.Waker) {
+	r.Port.In.SetWaker(w)
+	r.sendQ.SetWaker(w)
 }
 
 // NextWake implements sim.WakeHinter.

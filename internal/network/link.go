@@ -70,7 +70,7 @@ func (l *Link) move(now sim.Cycle, src, dst *Port, rate int, st *stats.LinkStats
 			st.StallCycles.Inc()
 			break
 		}
-		src.Out.Pop(now)
+		src.Out.PopReady() // readiness established by Peek above
 		// The receiving queue's own one-cycle delay plus (Latency-1)
 		// extra gives a total of Latency cycles of propagation.
 		extra := l.Latency - 1
@@ -82,6 +82,14 @@ func (l *Link) move(now sim.Cycle, src, dst *Port, rate int, st *stats.LinkStats
 		moved = true
 	}
 	return moved
+}
+
+// SetWaker implements sim.WakerAware: pushes into either endpoint's
+// Out queue (by the switch, RDMA engine, controller, or test code)
+// re-arm the link.
+func (l *Link) SetWaker(w *sim.Waker) {
+	l.A.Out.SetWaker(w)
+	l.B.Out.SetWaker(w)
 }
 
 // NextWake implements sim.WakeHinter.

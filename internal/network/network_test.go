@@ -28,6 +28,10 @@ func (s *sink) Tick(now sim.Cycle) bool {
 
 func (s *sink) NextWake(now sim.Cycle) sim.Cycle { return s.port.In.NextReady() }
 
+// SetWaker wires the sink's input so link deliveries re-arm it — the
+// component-author rule for any hinted ticker fed by another component.
+func (s *sink) SetWaker(w *sim.Waker) { s.port.In.SetWaker(w) }
+
 func mkFlit(id uint64, dst flit.DeviceID) *flit.Flit {
 	p := &flit.Packet{ID: id, Type: flit.ReadReq, Dst: dst}
 	return flit.Segment(p, 16)[0]

@@ -41,6 +41,14 @@ type Switch struct {
 	route   map[flit.DeviceID]int
 	defPort int
 	rrNext  int
+	// waker is the engine handle when the switch is registered with a
+	// wake-scheduled engine. Besides re-arming on port input, it
+	// supplies the processed-round counter that the round-robin pointer
+	// is derived from: historically rrNext advanced once per engine
+	// tick round whether or not the switch had traffic, so a
+	// wake-scheduled switch must derive it from rounds processed, not
+	// ticks received, to arbitrate identically.
+	waker *sim.Waker
 }
 
 // NewSwitch creates a switch with no ports attached. defPort is used
@@ -59,6 +67,7 @@ func NewSwitch(name string, cfg SwitchConfig) *Switch {
 // its index.
 func (s *Switch) AddPort(p *Port) int {
 	s.ports = append(s.ports, p)
+	p.In.SetWaker(s.waker)
 	s.pipes = append(s.pipes, sim.NewQueue[*flit.Flit](s.cfg.BufferEntries, s.cfg.ProcessingLatency))
 	s.outBufs = append(s.outBufs, sim.NewQueue[*flit.Flit](s.cfg.BufferEntries, 1))
 	s.rates = append(s.rates, 1)
@@ -157,6 +166,13 @@ func (s *Switch) Tick(now sim.Cycle) bool {
 	// is full blocks its input pipeline (head-of-line blocking, as in
 	// a real input-buffered switch).
 	n := len(s.ports)
+	if s.waker != nil && n > 0 {
+		// Derived, not counted: rrNext must advance once per processed
+		// engine round (as it did when the switch was ticked every
+		// round), not once per received tick, or arbitration would
+		// depend on how many idle ticks the engine skipped.
+		s.rrNext = int(s.waker.Rounds() % int64(n))
+	}
 	granted := s.granted
 	for i := range granted {
 		granted[i] = 0
@@ -173,7 +189,7 @@ func (s *Switch) Tick(now sim.Cycle) bool {
 			if granted[out] >= s.rates[out] || s.outBufs[out].Full() {
 				continue
 			}
-			s.pipes[i].Pop(now)
+			s.pipes[i].PopReady() // readiness established by Peek above
 			s.outBufs[out].Push(f, now)
 			granted[out]++
 			progress = true
@@ -183,7 +199,11 @@ func (s *Switch) Tick(now sim.Cycle) bool {
 			break
 		}
 	}
-	s.rrNext = (s.rrNext + 1) % max(n, 1)
+	if s.waker == nil {
+		// Legacy path for switches driven outside an engine (direct
+		// Tick calls in tests): count ticks, as every tick is a round.
+		s.rrNext = (s.rrNext + 1) % max(n, 1)
+	}
 
 	// Egress: move up to the port's rate to its Out queue, from which
 	// the attached link drains at link bandwidth.
@@ -193,7 +213,7 @@ func (s *Switch) Tick(now sim.Cycle) bool {
 			if !ok || p.Out.Full() {
 				break
 			}
-			s.outBufs[i].Pop(now)
+			s.outBufs[i].PopReady() // readiness established by Peek above
 			p.Out.Push(f, now)
 			busy = true
 		}
@@ -201,14 +221,30 @@ func (s *Switch) Tick(now sim.Cycle) bool {
 	return busy
 }
 
-// NextWake implements sim.WakeHinter.
+// SetWaker implements sim.WakerAware: port input pushes (link
+// deliveries) re-arm the switch, and the waker's round counter drives
+// the round-robin pointer (see the waker field).
+func (s *Switch) SetWaker(w *sim.Waker) {
+	s.waker = w
+	for _, p := range s.ports {
+		p.In.SetWaker(w)
+	}
+}
+
+// NextWake implements sim.WakeHinter. Hot path: called after every
+// switch tick, so the three queue heads are compared directly — no
+// per-call slice.
 func (s *Switch) NextWake(now sim.Cycle) sim.Cycle {
 	wake := sim.CycleMax
 	for i, p := range s.ports {
-		for _, c := range []sim.Cycle{p.In.NextReady(), s.pipes[i].NextReady(), s.outBufs[i].NextReady()} {
-			if c < wake {
-				wake = c
-			}
+		if c := p.In.NextReady(); c < wake {
+			wake = c
+		}
+		if c := s.pipes[i].NextReady(); c < wake {
+			wake = c
+		}
+		if c := s.outBufs[i].NextReady(); c < wake {
+			wake = c
 		}
 	}
 	return wake

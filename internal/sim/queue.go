@@ -12,6 +12,15 @@ type Queue[T any] struct {
 	head  int // index of the logical front within items
 	cap   int
 	delay Cycle
+	// nextReady caches the head item's visibility cycle (CycleMax when
+	// empty) so NextReady is a field read and wake recomputation after
+	// a push is O(1).
+	nextReady Cycle
+	// waker, when set, re-arms the consuming ticker whenever a push
+	// makes the queue transition empty -> non-empty. Pushes onto a
+	// non-empty queue cannot lower NextReady (FIFO visibility follows
+	// the head), so the consumer is already armed early enough.
+	waker *Waker
 }
 
 type queueItem[T any] struct {
@@ -26,8 +35,15 @@ func NewQueue[T any](capacity int, delay Cycle) *Queue[T] {
 	if delay < 1 {
 		delay = 1
 	}
-	return &Queue[T]{cap: capacity, delay: delay}
+	return &Queue[T]{cap: capacity, delay: delay, nextReady: CycleMax}
 }
+
+// SetWaker attaches the consuming ticker's waker. After this, any push
+// that makes the queue go from empty to non-empty wakes the consumer
+// at the pushed item's ready cycle. Components implement
+// sim.WakerAware by forwarding the engine-provided waker to each of
+// their input queues.
+func (q *Queue[T]) SetWaker(w *Waker) { q.waker = w }
 
 // Len returns the number of items in the queue (ready or not).
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
@@ -59,6 +75,10 @@ func (q *Queue[T]) PushAt(v T, readyAt Cycle) bool {
 	if q.Full() {
 		return false
 	}
+	if q.head == len(q.items) { // empty -> non-empty: new head
+		q.nextReady = readyAt
+		q.waker.Wake(readyAt)
+	}
 	q.items = append(q.items, queueItem[T]{v: v, readyAt: readyAt})
 	return true
 }
@@ -82,12 +102,27 @@ func (q *Queue[T]) Pop(now Cycle) (v T, ok bool) {
 	if !q.CanPop(now) {
 		return v, false
 	}
-	v = q.items[q.head].v
+	return q.PopReady(), true
+}
+
+// PopReady removes and returns the head item without re-checking
+// readiness. It is the fast path for the ubiquitous Peek-then-Pop and
+// CanPop-then-Pop patterns, which otherwise evaluate CanPop twice per
+// dequeue. The caller must have established readiness at the current
+// cycle (via CanPop or Peek) since the last mutation; calling it on an
+// empty queue panics.
+func (q *Queue[T]) PopReady() T {
+	v := q.items[q.head].v
 	var zero queueItem[T]
 	q.items[q.head] = zero // release references for the GC
 	q.head++
+	if q.head == len(q.items) {
+		q.nextReady = CycleMax
+	} else {
+		q.nextReady = q.items[q.head].readyAt
+	}
 	q.compact()
-	return v, true
+	return v
 }
 
 // compact reclaims the popped prefix once it dominates the backing
@@ -112,12 +147,7 @@ func (q *Queue[T]) compact() {
 
 // NextReady returns the cycle at which the head item becomes poppable,
 // or CycleMax when the queue is empty. Used for engine wake hints.
-func (q *Queue[T]) NextReady() Cycle {
-	if q.Len() == 0 {
-		return CycleMax
-	}
-	return q.items[q.head].readyAt
-}
+func (q *Queue[T]) NextReady() Cycle { return q.nextReady }
 
 // All returns the queued values in order (ready or not). The returned
 // slice is freshly allocated; mutating it does not affect the queue.
@@ -150,6 +180,11 @@ func (q *Queue[T]) RemoveAt(i int) (v T, ok bool) {
 	v = q.items[j].v
 	copy(q.items[j:], q.items[j+1:])
 	q.items = q.items[:len(q.items)-1]
+	if q.head == len(q.items) {
+		q.nextReady = CycleMax
+	} else if i == 0 {
+		q.nextReady = q.items[q.head].readyAt
+	}
 	return v, true
 }
 

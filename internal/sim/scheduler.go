@@ -6,17 +6,42 @@ import "container/heap"
 // fixed latencies (cache lookups, TLB probes, DRAM access time) without
 // each keeping its own timing wheel.
 //
-// Events cluster heavily on the same cycles, so they are stored in
-// per-cycle buckets with a min-heap over the distinct pending cycles —
-// heap traffic scales with distinct deadlines rather than with events,
-// which profiling showed dominating the whole simulator otherwise.
-// Callbacks scheduled for the same cycle run in scheduling order,
-// preserving determinism.
+// Almost every event lands within a few hundred cycles of being
+// scheduled, so callbacks live in a power-of-two ring of per-cycle
+// buckets indexed by cycle — a slice index instead of the map lookup
+// per At/Tick that used to show at the top of simulator profiles.
+// Drained bucket slices are recycled through a free list, so the
+// steady-state scheduler allocates nothing. Events beyond the ring
+// window (rare: long compute segments) overflow to a map. A min-heap
+// over the distinct pending cycles drives draining and wake hints —
+// heap traffic scales with distinct deadlines rather than with events.
+//
+// Determinism: callbacks scheduled for the same cycle run in scheduling
+// order; cycles fire in ascending order. Both hold across the
+// ring/overflow split — an overflow bucket migrates as a unit and fires
+// before same-cycle ring entries, which can only have been added later
+// (the ring window only moves forward).
 type Scheduler struct {
-	buckets map[Cycle][]func(Cycle)
-	keys    cycleHeap
+	// ring[at&ringMask] holds the callbacks for cycle at, valid for
+	// cycles in [base, base+ringSize).
+	ring [ringSize][]func(Cycle)
+	// base is the first cycle not yet drained; ring slots below it are
+	// dead. Scheduling before base clamps to base (the old behavior for
+	// past events: fire on the next Tick, still ahead of later cycles,
+	// since base precedes every pending cycle).
+	base Cycle
+	// far holds buckets beyond the ring window, keyed by cycle.
+	far     map[Cycle][]func(Cycle)
+	keys    cycleHeap // distinct pending cycles, ring and far
+	free    [][]func(Cycle)
 	pending int
+	waker   *Waker
 }
+
+const (
+	ringSize = 4096
+	ringMask = ringSize - 1
+)
 
 type cycleHeap []Cycle
 
@@ -28,18 +53,54 @@ func (h *cycleHeap) Pop() any          { old := *h; n := len(old); c := old[n-1]
 
 // NewScheduler returns an empty scheduler; register it with the engine.
 func NewScheduler() *Scheduler {
-	return &Scheduler{buckets: make(map[Cycle][]func(Cycle))}
+	return &Scheduler{far: make(map[Cycle][]func(Cycle))}
 }
+
+// SetWaker implements WakerAware: At self-signals the engine, so
+// callbacks scheduled from other components' ticks re-arm a sleeping
+// scheduler.
+func (s *Scheduler) SetWaker(w *Waker) { s.waker = w }
 
 // At schedules fn to run at the given absolute cycle (clamped to run no
 // earlier than the next tick).
 func (s *Scheduler) At(at Cycle, fn func(now Cycle)) {
-	b, ok := s.buckets[at]
-	if !ok {
-		heap.Push(&s.keys, at)
+	if at < s.base {
+		at = s.base
 	}
-	s.buckets[at] = append(b, fn)
+	if at < s.base+ringSize {
+		i := at & ringMask
+		if len(s.ring[i]) == 0 {
+			if s.ring[i] == nil {
+				s.ring[i] = s.grabBucket()
+			}
+			// First entry for this cycle: publish it to the heap,
+			// unless an overflow bucket already did.
+			if len(s.far) == 0 || s.far[at] == nil {
+				heap.Push(&s.keys, at)
+			}
+		}
+		s.ring[i] = append(s.ring[i], fn)
+	} else {
+		b := s.far[at]
+		if b == nil {
+			heap.Push(&s.keys, at)
+		}
+		s.far[at] = append(b, fn)
+	}
 	s.pending++
+	s.waker.Wake(at)
+}
+
+// grabBucket returns a recycled zero-length bucket, or nil when the
+// free list is empty (append then allocates as usual).
+func (s *Scheduler) grabBucket() []func(Cycle) {
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b
+	}
+	return nil
 }
 
 // After schedules fn to run delay cycles after now (minimum 1).
@@ -55,15 +116,33 @@ func (s *Scheduler) Tick(now Cycle) bool {
 	busy := false
 	for len(s.keys) > 0 && s.keys[0] <= now {
 		at := heap.Pop(&s.keys).(Cycle)
+		// An overflow bucket for this cycle predates any ring entries
+		// (the window only moves forward), so it fires first.
 		// Callbacks may schedule more work for this same cycle while
 		// we drain it; re-reading the bucket each iteration picks
 		// those up in order.
-		for i := 0; i < len(s.buckets[at]); i++ {
-			s.buckets[at][i](now)
+		if len(s.far) > 0 && s.far[at] != nil {
+			for i := 0; i < len(s.far[at]); i++ {
+				s.far[at][i](now)
+				s.pending--
+				busy = true
+			}
+			delete(s.far, at)
+		}
+		ri := at & ringMask
+		for i := 0; i < len(s.ring[ri]); i++ {
+			s.ring[ri][i](now)
 			s.pending--
 			busy = true
 		}
-		delete(s.buckets, at)
+		if b := s.ring[ri]; b != nil {
+			s.ring[ri] = nil
+			clear(b)
+			s.free = append(s.free, b[:0])
+		}
+	}
+	if s.base <= now {
+		s.base = now + 1
 	}
 	return busy
 }

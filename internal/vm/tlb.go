@@ -162,11 +162,18 @@ func (t *TLB) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle))
 }
 
 func (t *TLB) retry(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) {
-	t.sched.After(now, 4, func(at sim.Cycle) {
+	// One self-rescheduling closure serves the whole retry loop; the
+	// naive recursive form allocated a fresh closure every 4-cycle poll
+	// and dominated the simulator's allocation profile under MSHR
+	// pressure. Timing is unchanged: first attempt at now+4, then every
+	// 4 cycles until Translate accepts.
+	var poll func(sim.Cycle)
+	poll = func(at sim.Cycle) {
 		if !t.Translate(vpn, at, done) {
-			t.retry(vpn, at, done)
+			t.sched.After(at, 4, poll)
 		}
-	})
+	}
+	t.sched.After(now, 4, poll)
 }
 
 func (t *TLB) issueBelow(vpn uint64, now sim.Cycle) {
