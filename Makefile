@@ -40,12 +40,16 @@ bench-micro:
 		-benchmem -count=3 ./internal/sim
 	$(GO) test -run='^$$' -bench='BenchmarkSwitch|BenchmarkLink' \
 		-benchmem -count=3 ./internal/network
+	$(GO) test -run='^$$' -bench='BenchmarkTxn' \
+		-benchmem -count=3 ./internal/txn
 
 bench-micro-smoke:
 	$(GO) test -run='NoAllocs' -bench='BenchmarkEngine|BenchmarkQueue|BenchmarkScheduler' \
 		-benchmem -count=1 -benchtime=100x ./internal/sim
 	$(GO) test -run='NoAllocs' -bench='BenchmarkSwitch|BenchmarkLink' \
 		-benchmem -count=1 -benchtime=100x ./internal/network
+	$(GO) test -run='NoAllocs' -bench='BenchmarkTxn' \
+		-benchmem -count=1 -benchtime=100x ./internal/txn
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
@@ -82,9 +86,11 @@ arch-dot:
 	  '' \
 	  '  // Layers, foundation at the bottom (edges point at dependencies).' \
 	  '  { rank=same; sim; }' \
-	  '  { rank=same; obs; stats; trace; workload; }' \
-	  '  { rank=same; flit; topo; }' \
-	  '  { rank=same; network; cache; dram; lasp; }' \
+	  '  { rank=same; obs; stats; workload; }' \
+	  '  { rank=same; cache; topo; lasp; }' \
+	  '  { rank=same; txn; }' \
+	  '  { rank=same; flit; }' \
+	  '  { rank=same; network; dram; trace; }' \
 	  '  { rank=same; vm; core; }' \
 	  '  { rank=same; gpu; }' \
 	  '  { rank=same; cluster; }' \

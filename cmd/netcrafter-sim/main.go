@@ -8,6 +8,7 @@
 //	               [-topo preset|spec.json] [-topo-list] [-dot FILE]
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
+//	               [-inflight-dump]
 //
 // -topo replaces the default 4-GPU/2-cluster fabric with a named preset
 // (see -topo-list) or a JSON topology spec file; link bandwidths then
@@ -47,6 +48,7 @@ func main() {
 		traceF = flag.String("trace", "", "write a JSON-lines wire trace to this file")
 		spansF = flag.String("spans", "", "write packet lifecycle spans (JSONL) to this file ('-' = stdout) and print the latency breakdown")
 		metF   = flag.String("metrics", "", "write a Prometheus-style metrics snapshot to this file ('-' = stdout)")
+		inFlt  = flag.Bool("inflight-dump", false, "dump the live transaction tables after each run; on a run-limit error, also print the stuck-transaction watchdog report")
 	)
 	flag.Parse()
 
@@ -127,11 +129,22 @@ func main() {
 	for _, name := range names {
 		var res *netcrafter.Result
 		var err error
-		if rec != nil || reg != nil || spans != nil {
+		if rec != nil || reg != nil || spans != nil || *inFlt {
 			sys := netcrafter.NewSystem(cfg)
 			sys.AttachTrace(rec)
 			sys.AttachObs(reg, spans)
 			res, err = netcrafter.RunOnSystem(sys, name, sc, 500_000_000)
+			if *inFlt {
+				if err != nil {
+					// A wedged run: the watchdog names the transactions
+					// that stopped moving, with their stage history.
+					fmt.Fprintf(os.Stderr, "%s: %v; stuck-transaction report:\n", name, err)
+					if sys.CheckStuck(os.Stderr, 10_000) == 0 {
+						fmt.Fprintln(os.Stderr, "  (no transaction older than 10000 cycles)")
+					}
+				}
+				sys.DumpInFlight(os.Stdout)
+			}
 		} else {
 			res, err = netcrafter.Run(cfg, name, sc)
 		}

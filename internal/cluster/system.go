@@ -10,6 +10,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 
 	"netcrafter/internal/core"
 	"netcrafter/internal/flit"
@@ -19,6 +20,7 @@ import (
 	"netcrafter/internal/sim"
 	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
+	"netcrafter/internal/txn"
 	"netcrafter/internal/vm"
 )
 
@@ -183,6 +185,10 @@ type System struct {
 	// Topo is the graph this system was instantiated from.
 	Topo *topo.Graph
 	PT   *vm.PageTable
+	// Tables holds the per-cluster transaction tables (index = cluster
+	// id); every memory request of every GPU in a cluster lives in its
+	// table while in flight.
+	Tables []*txn.Table
 
 	cfg       Config
 	nClusters int
@@ -245,8 +251,12 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		devIdx[d.Name] = i
 	}
 	tp := graphTopology{clusters: clusters}
-	for i := range g.Devices {
-		s.GPUs = append(s.GPUs, gpu.New(i, cfg.GPU, tp, s.PT, s.Sched))
+	s.Tables = make([]*txn.Table, s.nClusters)
+	for c := range s.Tables {
+		s.Tables[c] = txn.NewTable(fmt.Sprintf("cluster%d", c))
+	}
+	for i, d := range g.Devices {
+		s.GPUs = append(s.GPUs, gpu.New(i, cfg.GPU, tp, s.PT, s.Tables[d.Cluster], s.Sched))
 	}
 
 	sws := make(map[string]*network.Switch, len(g.Switches))
@@ -443,4 +453,35 @@ func (s *System) AttachTrace(rec *trace.Recorder) {
 	for _, ctl := range s.Controllers {
 		ctl.Trace = rec
 	}
+}
+
+// InFlight returns the number of live transactions across all clusters.
+func (s *System) InFlight() int {
+	n := 0
+	for _, tb := range s.Tables {
+		n += tb.Live()
+	}
+	return n
+}
+
+// DumpInFlight writes every cluster's live-transaction table — stage
+// occupancy plus one line per transaction with its stage history.
+func (s *System) DumpInFlight(w io.Writer) {
+	now := s.Engine.Now()
+	for _, tb := range s.Tables {
+		tb.Dump(w, now)
+	}
+}
+
+// CheckStuck runs the stuck-transaction watchdog over every cluster
+// table, reporting transactions older than budget cycles with their
+// full stage history, and returns how many it found.
+func (s *System) CheckStuck(w io.Writer, budget sim.Cycle) int {
+	now := s.Engine.Now()
+	n := 0
+	for _, tb := range s.Tables {
+		wd := txn.Watchdog{Table: tb, Budget: budget}
+		n += wd.Check(w, now)
+	}
+	return n
 }

@@ -54,7 +54,7 @@ func legacyNew(cfg Config) *System {
 	switches := make([]*network.Switch, nClusters)
 
 	for g := 0; g < cfg.GPUs; g++ {
-		s.GPUs = append(s.GPUs, gpu.New(g, cfg.GPU, tp, s.PT, s.Sched))
+		s.GPUs = append(s.GPUs, gpu.New(g, cfg.GPU, tp, s.PT, nil, s.Sched))
 	}
 
 	for c := 0; c < nClusters; c++ {

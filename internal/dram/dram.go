@@ -8,6 +8,7 @@ import (
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
+	"netcrafter/internal/txn"
 )
 
 // Config describes one memory stack.
@@ -22,21 +23,15 @@ func DefaultConfig() Config {
 	return Config{BytesPerCycle: 1024, Latency: 100, QueueDepth: 0}
 }
 
-// Request is one memory transaction. Done is invoked exactly once when
-// the data has been transferred (reads) or accepted (writes).
-type Request struct {
-	Addr  uint64
-	Bytes int
-	Write bool
-	Done  func(now sim.Cycle)
-}
-
-// DRAM services requests FIFO at the configured bandwidth, completing
-// each Latency cycles after its data slot finishes.
+// DRAM services transactions FIFO at the configured bandwidth,
+// completing each Latency cycles after its data slot finishes. The
+// transfer is described by the transaction's Mem descriptor; the
+// transaction Completes exactly once when the data has been
+// transferred (reads) or accepted (writes).
 type DRAM struct {
 	Name string
 	cfg  Config
-	q    *sim.Queue[*Request]
+	q    *sim.Queue[*txn.Transaction]
 	// busFreeAt is the first byte-slot at which the data bus is free,
 	// measured in bytes of bus time (cycle N spans byte-slots
 	// [N*BytesPerCycle, (N+1)*BytesPerCycle)). Byte granularity lets a
@@ -64,18 +59,22 @@ func New(name string, cfg Config, sched *sim.Scheduler) *DRAM {
 	return &DRAM{
 		Name:  name,
 		cfg:   cfg,
-		q:     sim.NewQueue[*Request](cfg.QueueDepth, 1),
+		q:     sim.NewQueue[*txn.Transaction](cfg.QueueDepth, 1),
 		sched: sched,
 	}
 }
 
-// Access enqueues a request. It reports false when the queue is full
-// (caller retries).
-func (d *DRAM) Access(r *Request, now sim.Cycle) bool {
-	if r.Bytes <= 0 {
+// Access enqueues a transaction whose Mem descriptor is filled in. It
+// reports false when the queue is full (caller retries).
+func (d *DRAM) Access(t *txn.Transaction, now sim.Cycle) bool {
+	if t.Mem.Bytes <= 0 {
 		panic("dram: request with no bytes")
 	}
-	return d.q.Push(r, now)
+	if !d.q.Push(t, now) {
+		return false
+	}
+	t.SetState(txn.StateDRAM, now)
+	return true
 }
 
 // Tick implements sim.Ticker: admit queued requests to the data bus.
@@ -83,7 +82,7 @@ func (d *DRAM) Tick(now sim.Cycle) bool {
 	busy := false
 	bpc := int64(d.cfg.BytesPerCycle)
 	for {
-		r, ok := d.q.Peek(now)
+		t, ok := d.q.Peek(now)
 		if !ok {
 			break
 		}
@@ -97,23 +96,18 @@ func (d *DRAM) Tick(now sim.Cycle) bool {
 			break
 		}
 		d.q.PopReady() // readiness established by Peek above
-		end := start + int64(r.Bytes)
+		end := start + int64(t.Mem.Bytes)
 		d.busFreeAt = end
-		if r.Write {
+		if t.Mem.Write {
 			d.Writes.Inc()
-			d.BytesWrit.Add(int64(r.Bytes))
+			d.BytesWrit.Add(int64(t.Mem.Bytes))
 		} else {
 			d.Reads.Inc()
-			d.BytesRead.Add(int64(r.Bytes))
+			d.BytesRead.Add(int64(t.Mem.Bytes))
 		}
 		endCycle := sim.Cycle((end + bpc - 1) / bpc)
 		d.ObsServiceLat.Observe(float64(endCycle + d.cfg.Latency - 1 - now))
-		done := r.Done
-		d.sched.At(endCycle+d.cfg.Latency-1, func(at sim.Cycle) {
-			if done != nil {
-				done(at)
-			}
-		})
+		t.CompleteAt(d.sched, endCycle+d.cfg.Latency-1)
 		busy = true
 	}
 	return busy

@@ -4,21 +4,36 @@ import (
 	"testing"
 
 	"netcrafter/internal/sim"
+	"netcrafter/internal/txn"
 )
 
-func setup(cfg Config) (*sim.Engine, *sim.Scheduler, *DRAM) {
+func setup(cfg Config) (*sim.Engine, *sim.Scheduler, *DRAM, *txn.Table) {
 	e := sim.NewEngine()
 	sched := sim.NewScheduler()
 	d := New("hbm", cfg, sched)
 	e.Register("dram", d)
 	e.Register("sched", sched)
-	return e, sched, d
+	return e, sched, d, txn.NewTable("test")
+}
+
+// access acquires a transaction for one transfer whose bottom frame
+// runs done and releases it — the shape every caller of Access uses.
+func access(tb *txn.Table, addr uint64, bytes int, write bool, done func(at sim.Cycle)) *txn.Transaction {
+	t := tb.Acquire(txn.KindRead, 0)
+	t.Mem = txn.MemOp{Addr: addr, Bytes: bytes, Write: write}
+	t.Push(txn.HandlerFunc(func(t *txn.Transaction, _ txn.Frame, at sim.Cycle) {
+		if done != nil {
+			done(at)
+		}
+		t.Release()
+	}), 0, 0, nil)
+	return t
 }
 
 func TestSingleReadLatency(t *testing.T) {
-	e, _, d := setup(DefaultConfig())
+	e, _, d, tb := setup(DefaultConfig())
 	var doneAt sim.Cycle = -1
-	d.Access(&Request{Addr: 0, Bytes: 64, Done: func(now sim.Cycle) { doneAt = now }}, 0)
+	d.Access(access(tb, 0, 64, false, func(now sim.Cycle) { doneAt = now }), 0)
 	_, err := e.RunUntil(func() bool { return doneAt >= 0 }, 1000)
 	if err != nil {
 		t.Fatal(err)
@@ -30,19 +45,22 @@ func TestSingleReadLatency(t *testing.T) {
 	if d.Reads.Value() != 1 || d.BytesRead.Value() != 64 {
 		t.Fatal("read stats wrong")
 	}
+	if tb.Live() != 0 {
+		t.Fatal("transaction leaked")
+	}
 }
 
 func TestBandwidthThrottling(t *testing.T) {
 	// 64 B/cycle bus: 100 requests x 64B = 100 cycles of bus time.
 	cfg := Config{BytesPerCycle: 64, Latency: 10}
-	e, _, d := setup(cfg)
+	e, _, d, tb := setup(cfg)
 	done := 0
 	var last sim.Cycle
 	for i := 0; i < 100; i++ {
-		d.Access(&Request{Addr: uint64(i * 64), Bytes: 64, Done: func(now sim.Cycle) {
+		d.Access(access(tb, uint64(i*64), 64, false, func(now sim.Cycle) {
 			done++
 			last = now
-		}}, 0)
+		}), 0)
 	}
 	if _, err := e.RunUntil(func() bool { return done == 100 }, 10000); err != nil {
 		t.Fatal(err)
@@ -57,10 +75,10 @@ func TestBandwidthThrottling(t *testing.T) {
 
 func TestWideBusParallelism(t *testing.T) {
 	run := func(bpc int) sim.Cycle {
-		e, _, d := setup(Config{BytesPerCycle: bpc, Latency: 10})
+		e, _, d, tb := setup(Config{BytesPerCycle: bpc, Latency: 10})
 		done := 0
 		for i := 0; i < 64; i++ {
-			d.Access(&Request{Addr: uint64(i * 64), Bytes: 64, Done: func(sim.Cycle) { done++ }}, 0)
+			d.Access(access(tb, uint64(i*64), 64, false, func(sim.Cycle) { done++ }), 0)
 		}
 		end, err := e.RunUntil(func() bool { return done == 64 }, 10000)
 		if err != nil {
@@ -74,9 +92,9 @@ func TestWideBusParallelism(t *testing.T) {
 }
 
 func TestWriteAccounting(t *testing.T) {
-	e, _, d := setup(DefaultConfig())
+	e, _, d, tb := setup(DefaultConfig())
 	done := false
-	d.Access(&Request{Addr: 0, Bytes: 64, Write: true, Done: func(sim.Cycle) { done = true }}, 0)
+	d.Access(access(tb, 0, 64, true, func(sim.Cycle) { done = true }), 0)
 	if _, err := e.RunUntil(func() bool { return done }, 1000); err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +106,11 @@ func TestWriteAccounting(t *testing.T) {
 func TestQueueDepthBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.QueueDepth = 2
-	_, _, d := setup(cfg)
-	if !d.Access(&Request{Bytes: 64}, 0) || !d.Access(&Request{Bytes: 64}, 0) {
+	_, _, d, tb := setup(cfg)
+	if !d.Access(access(tb, 0, 64, false, nil), 0) || !d.Access(access(tb, 64, 64, false, nil), 0) {
 		t.Fatal("queue rejected within depth")
 	}
-	if d.Access(&Request{Bytes: 64}, 0) {
+	if d.Access(access(tb, 128, 64, false, nil), 0) {
 		t.Fatal("queue accepted beyond depth")
 	}
 	if d.Pending() != 2 {
@@ -100,14 +118,25 @@ func TestQueueDepthBackpressure(t *testing.T) {
 	}
 }
 
+func TestAdmittedTransactionEntersDRAMState(t *testing.T) {
+	_, _, d, tb := setup(DefaultConfig())
+	tr := access(tb, 0, 64, false, nil)
+	if !d.Access(tr, 0) {
+		t.Fatal("access rejected")
+	}
+	if tr.State() != txn.StateDRAM {
+		t.Fatalf("state = %v, want dram", tr.State())
+	}
+}
+
 func TestZeroByteRequestPanics(t *testing.T) {
-	_, _, d := setup(DefaultConfig())
+	_, _, d, tb := setup(DefaultConfig())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("zero-byte request did not panic")
 		}
 	}()
-	d.Access(&Request{Bytes: 0}, 0)
+	d.Access(access(tb, 0, 0, false, nil), 0)
 }
 
 func TestSchedulerOrdering(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
+	"netcrafter/internal/txn"
 )
 
 // Type identifies one of the six traffic categories of Table 1.
@@ -144,46 +145,49 @@ type Packet struct {
 	// no-op.
 	Span *obs.Span
 
-	// Meta carries a higher-layer context (e.g. the memory transaction
-	// a response answers). The wire does not see it.
-	Meta any
+	// Txn is the memory transaction this packet moves: the requester
+	// sets it on the request, and the home GPU copies it onto the
+	// response, so completion needs no side lookup table and
+	// TraceID/Span propagation is structural. The wire does not see it.
+	Txn *txn.Transaction
 }
 
-// HeaderBytes returns the header size for the packet. Requests carry
-// the 4-byte metadata header plus an 8-byte address; responses carry
-// only the metadata header (PTRsp's 8-byte translated address is its
-// payload), matching the Bytes Required column of Table 1.
-func (p *Packet) HeaderBytes() int {
-	if p.Type.IsResponse() {
+// headerBytes returns the header size for a packet of type t. Requests
+// carry the 4-byte metadata header plus an 8-byte address; responses
+// carry only the metadata header (PTRsp's 8-byte translated address is
+// its payload), matching the Bytes Required column of Table 1.
+func headerBytes(t Type) int {
+	if t.IsResponse() {
 		return MetaHeaderBytes
 	}
 	return MetaHeaderBytes + AddrBytes
 }
 
-// PayloadBytes returns the payload size, accounting for trimming.
-func (p *Packet) PayloadBytes() int {
-	switch p.Type {
-	case ReadRsp:
-		if p.Trimmed {
-			if p.TrimBytes > 0 {
-				return p.TrimBytes
-			}
-			return SectorBytes
-		}
-		return LineBytes
-	case WriteReq:
-		if p.Trimmed {
-			if p.TrimBytes > 0 {
-				return p.TrimBytes
-			}
-			return SectorBytes
-		}
+// basePayloadBytes returns the untrimmed payload size for a packet of
+// type t.
+func basePayloadBytes(t Type) int {
+	switch t {
+	case ReadRsp, WriteReq:
 		return LineBytes
 	case PTRsp:
 		return AddrBytes
 	default:
 		return 0
 	}
+}
+
+// HeaderBytes returns the header size for the packet.
+func (p *Packet) HeaderBytes() int { return headerBytes(p.Type) }
+
+// PayloadBytes returns the payload size, accounting for trimming.
+func (p *Packet) PayloadBytes() int {
+	if p.Trimmed && (p.Type == ReadRsp || p.Type == WriteReq) {
+		if p.TrimBytes > 0 {
+			return p.TrimBytes
+		}
+		return SectorBytes
+	}
+	return basePayloadBytes(p.Type)
 }
 
 // RequiredBytes is the total number of useful bytes the packet must

@@ -124,18 +124,20 @@ type Table1Row struct {
 	FlitsOccupied int
 }
 
-// Table1 computes the categorization of Table 1 for a flit size.
+// Table1 computes the categorization of Table 1 for a flit size,
+// straight from the per-type wire metadata (untrimmed packets).
 func Table1(flitBytes int) []Table1Row {
 	order := []Type{ReadReq, WriteReq, PTReq, ReadRsp, WriteRsp, PTRsp}
 	rows := make([]Table1Row, 0, len(order))
 	for _, t := range order {
-		p := &Packet{Type: t}
+		required := headerBytes(t) + basePayloadBytes(t)
+		flits := (required + flitBytes - 1) / flitBytes
 		rows = append(rows, Table1Row{
 			Type:          t,
-			BytesOccupied: p.FlitCount(flitBytes) * flitBytes,
-			BytesRequired: p.RequiredBytes(),
-			BytesPadded:   p.PaddedBytes(flitBytes),
-			FlitsOccupied: p.FlitCount(flitBytes),
+			BytesOccupied: flits * flitBytes,
+			BytesRequired: required,
+			BytesPadded:   flits*flitBytes - required,
+			FlitsOccupied: flits,
 		})
 	}
 	return rows

@@ -1,6 +1,12 @@
 package flit
 
-import "testing"
+import (
+	"io"
+	"testing"
+
+	"netcrafter/internal/obs"
+	"netcrafter/internal/txn"
+)
 
 // TestTraceIDSurvivesStitchRoundTrip drives a packet's flits through
 // segmentation, stitching into a parent, un-stitching at the far side
@@ -62,5 +68,60 @@ func TestTraceIDSurvivesStitchRoundTrip(t *testing.T) {
 	}
 	if got != partialPkt || got.TraceID != 7 {
 		t.Fatalf("reassembly lost trace id: %+v", got)
+	}
+}
+
+// TestStitchRoundTripPreservesTrace pins the structural-propagation
+// contract for the whole trace identity of a packet — TraceID, the
+// *obs.Span, and the owning *txn.Transaction: stitching two halves into
+// a parent flit and un-stitching them at the far side must hand back
+// the exact same pointers for each half. Unstitch rebuilds Flit shells
+// but must never rebuild (or copy) the Packet they reference.
+func TestStitchRoundTripPreservesTrace(t *testing.T) {
+	const flitBytes = 32
+	rec := obs.NewSpanRecorder(io.Discard)
+	tb := txn.NewTable("test")
+
+	parentPkt := &Packet{ID: 1, TraceID: 1, Type: ReadReq, DstCluster: 2}
+	parent := Segment(parentPkt, flitBytes)[0]
+
+	mk := func(id uint64, typ Type) *Packet {
+		tr := tb.Acquire(txn.KindRead, 0)
+		p := &Packet{ID: id, TraceID: tr.TraceID, Type: typ, DstCluster: 2}
+		p.Span = rec.Start(p.ID, p.TraceID, typ.String(), 0, 1, 0)
+		p.Txn = tr
+		return p
+	}
+	whole := mk(200, WriteRsp)
+	partial := mk(300, ReadRsp)
+
+	cands := []*Flit{Segment(whole, flitBytes)[0]}
+	pf := Segment(partial, flitBytes)
+	cands = append(cands, pf[len(pf)-1])
+	for _, cand := range cands {
+		if !CanStitch(parent, cand) {
+			t.Fatalf("cannot stitch %v", cand.Pkt)
+		}
+		Stitch(parent, cand)
+	}
+
+	out := Unstitch(parent)
+	if len(out) != 2 {
+		t.Fatalf("unstitched %d flits, want 2", len(out))
+	}
+	for i, want := range []*Packet{whole, partial} {
+		got := out[i].Pkt
+		if got != want {
+			t.Fatalf("unstitch rebuilt packet %d: %p != %p", i, got, want)
+		}
+		if got.TraceID != want.Txn.TraceID {
+			t.Errorf("half %d lost TraceID: %d", i, got.TraceID)
+		}
+		if got.Span != want.Span || got.Span == nil {
+			t.Errorf("half %d lost its Span pointer", i)
+		}
+		if got.Txn != want.Txn || got.Txn == nil {
+			t.Errorf("half %d lost its Transaction pointer", i)
+		}
 	}
 }

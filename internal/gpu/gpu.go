@@ -5,6 +5,7 @@ import (
 
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
+	"netcrafter/internal/txn"
 	"netcrafter/internal/vm"
 	"netcrafter/internal/workload"
 )
@@ -24,6 +25,11 @@ type GPU struct {
 	Mem   *MemPartition
 	RDMA  *RDMA
 
+	// table is the transaction pool every request this GPU originates
+	// is acquired from — usually shared per cluster (cluster.System
+	// passes one table to all GPUs of a cluster).
+	table *txn.Table
+
 	// ObsL1MissLat, shared by this GPU's CUs, records the miss-to-fill
 	// latency of primary L1 misses (local and remote). Wired by
 	// AttachObs; nil costs nothing.
@@ -36,8 +42,10 @@ type GPU struct {
 }
 
 // New builds a GPU. The page table is shared system-wide; the topology
-// tells the GPU where physical addresses live.
-func New(id int, cfg Config, topo Topology, pt *vm.PageTable, sched *sim.Scheduler) *GPU {
+// tells the GPU where physical addresses live. tbl is the transaction
+// table the GPU acquires from (shared per cluster); nil creates a
+// private one.
+func New(id int, cfg Config, topo Topology, pt *vm.PageTable, tbl *txn.Table, sched *sim.Scheduler) *GPU {
 	cfg = cfg.WithDefaults()
 	g := &GPU{
 		ID:    id,
@@ -46,8 +54,12 @@ func New(id int, cfg Config, topo Topology, pt *vm.PageTable, sched *sim.Schedul
 		topo:  topo,
 		sched: sched,
 	}
-	g.Mem = NewMemPartition(g.Name+".mem", id, cfg, sched)
-	g.RDMA = NewRDMA(g.Name+".rdma", id, topo, g.Mem, cfg, sched)
+	if tbl == nil {
+		tbl = txn.NewTable(g.Name)
+	}
+	g.table = tbl
+	g.Mem = NewMemPartition(g.Name+".mem", id, cfg, tbl, sched)
+	g.RDMA = NewRDMA(g.Name+".rdma", id, topo, g.Mem, cfg, tbl, sched)
 	g.GMMU = vm.NewGMMU(g.Name+".gmmu", cfg.GMMU, pt, &pteRouter{g: g}, sched)
 	g.L2TLB = vm.NewTLB(g.Name+".l2tlb", cfg.L2TLB, g.GMMU, sched)
 	for i := 0; i < cfg.NumCUs; i++ {
@@ -58,6 +70,9 @@ func New(id int, cfg Config, topo Topology, pt *vm.PageTable, sched *sim.Schedul
 
 // Config returns the GPU configuration (after defaulting).
 func (g *GPU) Config() Config { return g.cfg }
+
+// Table returns the transaction table this GPU acquires from.
+func (g *GPU) Table() *txn.Table { return g.table }
 
 // AttachObs wires this GPU's components into the metrics registry and
 // the span recorder. Either argument may be nil: a nil registry yields
@@ -173,12 +188,11 @@ type pteRouter struct {
 	g *GPU
 }
 
-func (p *pteRouter) ReadPTE(addr uint64, now sim.Cycle, done func(at sim.Cycle)) bool {
-	home := p.g.topo.HomeGPU(addr)
-	if home == p.g.ID {
-		p.g.Mem.ReadLine(addr, now, done)
+func (p *pteRouter) ReadPTE(t *txn.Transaction, addr uint64, now sim.Cycle) bool {
+	if p.g.topo.HomeGPU(addr) == p.g.ID {
+		p.g.Mem.ReadLine(t, addr, now)
 		return true
 	}
-	p.g.RDMA.ReadPTERemote(addr, now, done)
+	p.g.RDMA.ReadPTERemote(t, addr, now)
 	return true
 }

@@ -6,6 +6,7 @@ import (
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
+	"netcrafter/internal/txn"
 )
 
 // MemPartition is one GPU's share of the global memory space: its
@@ -22,7 +23,10 @@ type MemPartition struct {
 	// (1 request/cycle service).
 	bankFree []sim.Cycle
 	dram     *dram.DRAM
-	sched    *sim.Scheduler
+	// table supplies the pooled transactions for L2 victim write-backs
+	// (the only requests the partition originates itself).
+	table *txn.Table
+	sched *sim.Scheduler
 
 	Reads       stats.Counter
 	Writes      stats.Counter
@@ -36,13 +40,14 @@ type MemPartition struct {
 
 // NewMemPartition builds the partition; register its DRAM with the
 // engine (Tickers returns it).
-func NewMemPartition(name string, gpuID int, cfg Config, sched *sim.Scheduler) *MemPartition {
+func NewMemPartition(name string, gpuID int, cfg Config, tbl *txn.Table, sched *sim.Scheduler) *MemPartition {
 	m := &MemPartition{
 		Name:     name,
 		gpuID:    gpuID,
 		cfg:      cfg,
 		bankFree: make([]sim.Cycle, cfg.L2Banks),
 		dram:     dram.New(name+".dram", cfg.DRAM, sched),
+		table:    tbl,
 		sched:    sched,
 	}
 	for i := 0; i < cfg.L2Banks; i++ {
@@ -72,18 +77,60 @@ func (m *MemPartition) lineAddr(paddr uint64) uint64 {
 	return paddr / lb * lb
 }
 
+// Continuation roles the partition parks on transactions. Arg is the
+// line address except where noted.
+const (
+	// memRoleObs — latency pass-through: observe accept-to-done before
+	// unwinding to the caller. Arg is the accept cycle.
+	memRoleObs uint16 = iota
+	// memRoleReadLookup — the L2 lookup latency elapsed for a read.
+	memRoleReadLookup
+	// memRoleDRAMFill — DRAM returned the line; install it in the bank.
+	memRoleDRAMFill
+	// memRoleFetchRetry — the DRAM queue rejected the fetch; re-offer.
+	memRoleFetchRetry
+	// memRoleWriteLookup — the L2 lookup latency elapsed for a write.
+	memRoleWriteLookup
+	// memRoleWBDone — a victim write-back drained into DRAM.
+	memRoleWBDone
+	// memRoleWBRetry — the DRAM queue rejected the write-back; re-offer.
+	memRoleWBRetry
+)
+
+// OnComplete implements txn.Handler.
+func (m *MemPartition) OnComplete(t *txn.Transaction, f txn.Frame, at sim.Cycle) {
+	switch f.Role {
+	case memRoleObs:
+		m.ObsReadLat.Observe(float64(at - sim.Cycle(f.Arg)))
+		t.Complete(at)
+	case memRoleReadLookup:
+		m.readLookup(t, f.Arg, at)
+	case memRoleDRAMFill:
+		bank := m.banks[m.bankIdx(f.Arg)]
+		if ev, evicted := bank.Fill(f.Arg, bank.Config().FullMask()); evicted && ev.Dirty {
+			// Write-back of the victim, fire-and-forget.
+			m.dramWrite(ev.LineAddr, at)
+		}
+		t.Complete(at)
+	case memRoleFetchRetry:
+		m.fetchFromDRAM(t, f.Arg, at)
+	case memRoleWriteLookup:
+		m.writeLookup(t, f.Arg, at)
+	case memRoleWBDone:
+		t.Release()
+	case memRoleWBRetry:
+		m.issueWriteback(t, f.Arg, at)
+	}
+}
+
 // ReadLine fetches the full cache line containing paddr through the L2
-// bank (fills on miss from DRAM). done fires when the line is
+// bank (fills on miss from DRAM); t completes when the line is
 // available. Always accepts (DRAM queue is unbounded by default; bank
 // contention is modeled as queueing delay on bankFree).
-func (m *MemPartition) ReadLine(paddr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+func (m *MemPartition) ReadLine(t *txn.Transaction, paddr uint64, now sim.Cycle) {
 	m.Reads.Inc()
 	if m.ObsReadLat != nil {
-		inner := done
-		done = func(at sim.Cycle) {
-			m.ObsReadLat.Observe(float64(at - now))
-			inner(at)
-		}
+		t.Push(m, memRoleObs, uint64(now), nil)
 	}
 	bi := m.bankIdx(paddr)
 	start := now
@@ -91,46 +138,57 @@ func (m *MemPartition) ReadLine(paddr uint64, now sim.Cycle, done func(at sim.Cy
 		start = m.bankFree[bi]
 	}
 	m.bankFree[bi] = start + 1 // one request per cycle per bank
-	la := m.lineAddr(paddr)
-	bank := m.banks[bi]
-	m.sched.At(start+m.cfg.L2Latency, func(at sim.Cycle) {
-		if bank.Lookup(la, bank.Config().FullMask()) == cache.Hit {
-			m.L2Hits.Inc()
-			done(at)
-			return
-		}
-		m.L2Misses.Inc()
-		m.fetchFromDRAM(la, at, done)
-	})
+	t.SetState(txn.StateL2, now)
+	t.Push(m, memRoleReadLookup, m.lineAddr(paddr), nil)
+	t.CompleteAt(m.sched, start+m.cfg.L2Latency)
 }
 
-func (m *MemPartition) fetchFromDRAM(la uint64, now sim.Cycle, done func(at sim.Cycle)) {
-	m.DRAMFetches.Inc()
+func (m *MemPartition) readLookup(t *txn.Transaction, la uint64, at sim.Cycle) {
 	bank := m.banks[m.bankIdx(la)]
-	req := &dram.Request{Addr: la, Bytes: m.cfg.L2Bank.LineBytes, Done: func(at sim.Cycle) {
-		ev, evicted := bank.Fill(la, bank.Config().FullMask())
-		if evicted && ev.Dirty {
-			// Write-back of the victim, fire-and-forget.
-			m.dramWrite(ev.LineAddr, at)
-		}
-		done(at)
-	}}
-	if !m.dram.Access(req, now) {
-		m.sched.After(now, 4, func(at sim.Cycle) { m.fetchFromDRAM(la, at, done) })
+	if bank.Lookup(la, bank.Config().FullMask()) == cache.Hit {
+		m.L2Hits.Inc()
+		t.Complete(at)
+		return
+	}
+	m.L2Misses.Inc()
+	m.fetchFromDRAM(t, la, at)
+}
+
+func (m *MemPartition) fetchFromDRAM(t *txn.Transaction, la uint64, now sim.Cycle) {
+	m.DRAMFetches.Inc()
+	t.Mem = txn.MemOp{Addr: la, Bytes: m.cfg.L2Bank.LineBytes}
+	t.Push(m, memRoleDRAMFill, la, nil)
+	if !m.dram.Access(t, now) {
+		t.Drop()
+		t.Push(m, memRoleFetchRetry, la, nil)
+		t.CompleteAfter(m.sched, now, 4)
 	}
 }
 
+// dramWrite flushes a dirty line to DRAM under its own pooled
+// write-back transaction (the partition is the originator here, so the
+// drain stays visible in the in-flight table).
 func (m *MemPartition) dramWrite(la uint64, now sim.Cycle) {
-	req := &dram.Request{Addr: la, Bytes: m.cfg.L2Bank.LineBytes, Write: true}
-	if !m.dram.Access(req, now) {
-		m.sched.After(now, 4, func(at sim.Cycle) { m.dramWrite(la, at) })
+	w := m.table.Acquire(txn.KindWriteback, now)
+	w.PAddr = la
+	w.OriginGPU = m.gpuID
+	w.Mem = txn.MemOp{Addr: la, Bytes: m.cfg.L2Bank.LineBytes, Write: true}
+	m.issueWriteback(w, la, now)
+}
+
+func (m *MemPartition) issueWriteback(w *txn.Transaction, la uint64, now sim.Cycle) {
+	w.Push(m, memRoleWBDone, 0, nil)
+	if !m.dram.Access(w, now) {
+		w.Drop()
+		w.Push(m, memRoleWBRetry, la, nil)
+		w.CompleteAfter(m.sched, now, 4)
 	}
 }
 
 // WriteLine performs a store of the line containing paddr: write-back
-// L2 with no-allocate-on-miss (misses go straight to DRAM). done fires
+// L2 with no-allocate-on-miss (misses go straight to DRAM); t completes
 // when the write is accepted by the L2/DRAM.
-func (m *MemPartition) WriteLine(paddr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+func (m *MemPartition) WriteLine(t *txn.Transaction, paddr uint64, now sim.Cycle) {
 	m.Writes.Inc()
 	bi := m.bankIdx(paddr)
 	start := now
@@ -138,14 +196,17 @@ func (m *MemPartition) WriteLine(paddr uint64, now sim.Cycle, done func(at sim.C
 		start = m.bankFree[bi]
 	}
 	m.bankFree[bi] = start + 1
-	la := m.lineAddr(paddr)
-	bank := m.banks[bi]
-	m.sched.At(start+m.cfg.L2Latency, func(at sim.Cycle) {
-		if bank.Write(la, bank.Config().FullMask()) {
-			done(at) // dirty in L2; written back on eviction
-			return
-		}
-		m.dramWrite(la, at)
-		done(at)
-	})
+	t.SetState(txn.StateL2, now)
+	t.Push(m, memRoleWriteLookup, m.lineAddr(paddr), nil)
+	t.CompleteAt(m.sched, start+m.cfg.L2Latency)
+}
+
+func (m *MemPartition) writeLookup(t *txn.Transaction, la uint64, at sim.Cycle) {
+	bank := m.banks[m.bankIdx(la)]
+	if bank.Write(la, bank.Config().FullMask()) {
+		t.Complete(at) // dirty in L2; written back on eviction
+		return
+	}
+	m.dramWrite(la, at)
+	t.Complete(at)
 }

@@ -8,6 +8,7 @@ import (
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
+	"netcrafter/internal/txn"
 )
 
 // Topology is what a GPU needs to know about the system it lives in.
@@ -48,6 +49,10 @@ type RDMA struct {
 	dev   flit.DeviceID
 	topo  Topology
 	mem   *MemPartition
+	// table supplies pooled transactions for the requests this engine
+	// originates: posted remote writes and the home side of served
+	// requests.
+	table *txn.Table
 	sched *sim.Scheduler
 	cfg   Config
 
@@ -56,9 +61,12 @@ type RDMA struct {
 	sendQ *sim.Queue[*flit.Flit]
 	reasm *flit.Reassembler
 
-	nextID       uint64
-	pendingReads map[uint64]*readTxn
-	pendingPTEs  map[uint64]func(at sim.Cycle)
+	nextID uint64
+	// pendingReads/pendingPTEs count in-flight remote requests; the
+	// requests themselves ride on their transactions (a response packet
+	// carries its transaction back, so no side lookup table is needed).
+	pendingReads int
+	pendingPTEs  int
 	// outstandingWrites counts posted remote writes awaiting WriteRsp.
 	outstandingWrites int
 
@@ -69,28 +77,21 @@ type RDMA struct {
 	Stats RDMAStats
 }
 
-type readTxn struct {
-	issuedAt     sim.Cycle
-	interCluster bool
-	done         func(trimmed bool, at sim.Cycle)
-}
-
 // NewRDMA builds the engine. The port buffer is sized like a switch
 // buffer.
-func NewRDMA(name string, gpuID int, topo Topology, mem *MemPartition, cfg Config, sched *sim.Scheduler) *RDMA {
+func NewRDMA(name string, gpuID int, topo Topology, mem *MemPartition, cfg Config, tbl *txn.Table, sched *sim.Scheduler) *RDMA {
 	r := &RDMA{
-		Name:         name,
-		gpuID:        gpuID,
-		dev:          topo.DeviceOf(gpuID),
-		topo:         topo,
-		mem:          mem,
-		sched:        sched,
-		cfg:          cfg,
-		Port:         network.NewPort(name+".port", 1024),
-		sendQ:        sim.NewQueue[*flit.Flit](0, 1),
-		reasm:        flit.NewReassembler(),
-		pendingReads: make(map[uint64]*readTxn),
-		pendingPTEs:  make(map[uint64]func(sim.Cycle)),
+		Name:  name,
+		gpuID: gpuID,
+		dev:   topo.DeviceOf(gpuID),
+		topo:  topo,
+		mem:   mem,
+		table: tbl,
+		sched: sched,
+		cfg:   cfg,
+		Port:  network.NewPort(name+".port", 1024),
+		sendQ: sim.NewQueue[*flit.Flit](0, 1),
+		reasm: flit.NewReassembler(),
 	}
 	r.Stats.BytesNeeded = stats.NewHistogram("le16", "le32", "le48", "le64")
 	return r
@@ -103,7 +104,7 @@ func (r *RDMA) Device() flit.DeviceID { return r.dev }
 func (r *RDMA) OutstandingWrites() int { return r.outstandingWrites }
 
 // PendingReads returns in-flight remote reads (drain check).
-func (r *RDMA) PendingReads() int { return len(r.pendingReads) + len(r.pendingPTEs) }
+func (r *RDMA) PendingReads() int { return r.pendingReads + r.pendingPTEs }
 
 func (r *RDMA) newPacket(t flit.Type, dst flit.DeviceID, dstGPU int, addr uint64, now sim.Cycle) *flit.Packet {
 	r.nextID++
@@ -144,9 +145,58 @@ func trimFields(paddr uint64, bytes, trimBytes int) (eligible bool, offset uint8
 	return true, uint8(first)
 }
 
-// ReadRemote issues a read of `bytes` bytes at paddr to its home GPU.
-// done reports whether the response arrived trimmed.
-func (r *RDMA) ReadRemote(paddr uint64, bytes int, now sim.Cycle, done func(trimmed bool, at sim.Cycle)) {
+// Continuation roles the RDMA engine parks on transactions.
+const (
+	// rdmaRoleReadStats — a remote read's response arrived; record its
+	// round-trip latency before unwinding to the CU. Arg is the issue
+	// cycle shifted left once, with the inter-cluster flag in bit 0.
+	rdmaRoleReadStats uint16 = iota
+	// rdmaRoleWriteDone — a posted remote write's WriteRsp arrived.
+	rdmaRoleWriteDone
+	// rdmaRoleServeRead — the local partition finished a remote GPU's
+	// read; build and send the ReadRsp. Ref is the request packet.
+	rdmaRoleServeRead
+	// rdmaRoleServeWrite — likewise for a WriteReq.
+	rdmaRoleServeWrite
+	// rdmaRoleServePTE — likewise for a PTReq.
+	rdmaRoleServePTE
+)
+
+// OnComplete implements txn.Handler.
+func (r *RDMA) OnComplete(t *txn.Transaction, f txn.Frame, at sim.Cycle) {
+	switch f.Role {
+	case rdmaRoleReadStats:
+		lat := float64(at - sim.Cycle(f.Arg>>1))
+		if f.Arg&1 == 1 {
+			r.Stats.InterClusterReadLat.Observe(lat)
+		} else {
+			r.Stats.IntraClusterReadLat.Observe(lat)
+		}
+		t.Complete(at)
+	case rdmaRoleWriteDone:
+		r.outstandingWrites--
+		if r.outstandingWrites < 0 {
+			panic("gpu: WriteRsp without outstanding write")
+		}
+		t.Release()
+	case rdmaRoleServeRead:
+		r.finishServeRead(t, f.Ref.(*flit.Packet), at)
+	case rdmaRoleServeWrite:
+		req := f.Ref.(*flit.Packet)
+		r.send(r.newResponse(flit.WriteRsp, req, at), at)
+		t.Release()
+	case rdmaRoleServePTE:
+		req := f.Ref.(*flit.Packet)
+		r.send(r.newResponse(flit.PTRsp, req, at), at)
+		t.Release()
+	}
+}
+
+// ReadRemote issues a read of t.Size bytes at t.PAddr to its home GPU.
+// The response packet carries t back; t.Trimmed reports whether it
+// arrived trimmed.
+func (r *RDMA) ReadRemote(t *txn.Transaction, now sim.Cycle) {
+	paddr, bytes := t.PAddr, t.Size
 	home := r.topo.HomeGPU(paddr)
 	if home == r.gpuID {
 		panic("gpu: ReadRemote to self")
@@ -157,8 +207,9 @@ func (r *RDMA) ReadRemote(paddr uint64, bytes int, now sim.Cycle, done func(trim
 	p.TrimEligible, p.SectorOffset = trimFields(paddr, bytes, r.cfg.TrimBytes)
 	p.TrimBytes = r.cfg.TrimBytes
 	p.SectorRequest = r.cfg.FetchMode == FetchSector && bytes < flit.LineBytes
-	inter := p.CrossesClusters()
-	if inter {
+	interBit := uint64(0)
+	if p.CrossesClusters() {
+		interBit = 1
 		switch {
 		case bytes <= 16:
 			r.Stats.BytesNeeded.Observe("le16", 1)
@@ -170,14 +221,19 @@ func (r *RDMA) ReadRemote(paddr uint64, bytes int, now sim.Cycle, done func(trim
 			r.Stats.BytesNeeded.Observe("le64", 1)
 		}
 	}
-	r.pendingReads[p.ID] = &readTxn{issuedAt: now, interCluster: inter, done: done}
+	p.Txn = t
+	t.Span = p.Span
+	t.SetState(txn.StateNet, now)
+	t.Push(r, rdmaRoleReadStats, uint64(now)<<1|interBit, nil)
+	r.pendingReads++
 	r.send(p, now)
 }
 
 // WriteRemote posts a write of `bytes` dirty bytes at paddr to its home
-// GPU. The wavefront does not wait; the WriteRsp retires the posted
-// write. Trim hints ride along so a controller with the write-mask
-// extension enabled can trim the payload.
+// GPU. The wavefront does not wait; the write drains under its own
+// pooled transaction, retired by the WriteRsp. Trim hints ride along so
+// a controller with the write-mask extension enabled can trim the
+// payload.
 func (r *RDMA) WriteRemote(paddr uint64, bytes int, now sim.Cycle) {
 	home := r.topo.HomeGPU(paddr)
 	if home == r.gpuID {
@@ -188,19 +244,30 @@ func (r *RDMA) WriteRemote(paddr uint64, bytes int, now sim.Cycle) {
 	p.RequiredBytesHint = bytes
 	p.TrimEligible, p.SectorOffset = trimFields(paddr, bytes, r.cfg.TrimBytes)
 	p.TrimBytes = r.cfg.TrimBytes
+	w := r.table.Acquire(txn.KindWrite, now)
+	w.PAddr, w.Size = paddr, bytes
+	w.OriginGPU = r.gpuID
+	w.Push(r, rdmaRoleWriteDone, 0, nil)
+	w.Span = p.Span
+	w.SetState(txn.StateNet, now)
+	p.Txn = w
 	r.outstandingWrites++
 	r.send(p, now)
 }
 
-// ReadPTERemote fetches a PTE from a remote GPU (PTReq/PTRsp traffic).
-func (r *RDMA) ReadPTERemote(addr uint64, now sim.Cycle, done func(at sim.Cycle)) {
+// ReadPTERemote fetches a PTE from a remote GPU (PTReq/PTRsp traffic)
+// on behalf of t (a walk's primary transaction).
+func (r *RDMA) ReadPTERemote(t *txn.Transaction, addr uint64, now sim.Cycle) {
 	home := r.topo.HomeGPU(addr)
 	if home == r.gpuID {
 		panic("gpu: ReadPTERemote to self")
 	}
 	r.Stats.RemotePTEReads.Inc()
 	p := r.newPacket(flit.PTReq, r.topo.DeviceOf(home), home, addr, now)
-	r.pendingPTEs[p.ID] = done
+	p.Txn = t
+	t.Span = p.Span
+	t.SetState(txn.StateNet, now)
+	r.pendingPTEs++
 	r.send(p, now)
 }
 
@@ -264,34 +331,28 @@ func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
 		r.servePTE(p, now)
 	case flit.ReadRsp:
 		p.Span.End(now)
-		reqID := p.Meta.(uint64)
-		txn := r.pendingReads[reqID]
-		if txn == nil {
-			panic(fmt.Sprintf("gpu: %s got ReadRsp for unknown request %d", r.Name, reqID))
+		t := p.Txn
+		if t == nil {
+			panic(fmt.Sprintf("gpu: %s got ReadRsp without a transaction (%s)", r.Name, p))
 		}
-		delete(r.pendingReads, reqID)
-		lat := float64(now - txn.issuedAt)
-		if txn.interCluster {
-			r.Stats.InterClusterReadLat.Observe(lat)
-		} else {
-			r.Stats.IntraClusterReadLat.Observe(lat)
-		}
-		txn.done(p.Trimmed, now)
+		r.pendingReads--
+		t.Trimmed = p.Trimmed
+		t.Complete(now)
 	case flit.WriteRsp:
 		p.Span.End(now)
-		r.outstandingWrites--
-		if r.outstandingWrites < 0 {
-			panic("gpu: WriteRsp without outstanding write")
+		t := p.Txn
+		if t == nil {
+			panic(fmt.Sprintf("gpu: %s got WriteRsp without a transaction (%s)", r.Name, p))
 		}
+		t.Complete(now)
 	case flit.PTRsp:
 		p.Span.End(now)
-		reqID := p.Meta.(uint64)
-		done := r.pendingPTEs[reqID]
-		if done == nil {
-			panic(fmt.Sprintf("gpu: %s got PTRsp for unknown request %d", r.Name, reqID))
+		t := p.Txn
+		if t == nil {
+			panic(fmt.Sprintf("gpu: %s got PTRsp without a transaction (%s)", r.Name, p))
 		}
-		delete(r.pendingPTEs, reqID)
-		done(now)
+		r.pendingPTEs--
+		t.Complete(now)
 	}
 }
 
@@ -299,7 +360,7 @@ func (r *RDMA) dispatch(p *flit.Packet, now sim.Cycle) {
 // The request's span ends here (its memory-service stage closes when
 // the response is created) and the response opens a fresh span carrying
 // the same TraceID, so offline analysis can stitch the round trip back
-// together.
+// together. The requester's transaction rides along on the response.
 func (r *RDMA) newResponse(t flit.Type, req *flit.Packet, now sim.Cycle) *flit.Packet {
 	r.nextID++
 	p := &flit.Packet{
@@ -311,50 +372,66 @@ func (r *RDMA) newResponse(t flit.Type, req *flit.Packet, now sim.Cycle) *flit.P
 		DstCluster: req.SrcCluster,
 		Addr:       req.Addr,
 		CreatedAt:  now,
-		Meta:       req.ID,
+		Txn:        req.Txn,
 	}
 	p.TraceID = req.TraceID
 	req.Span.End(now)
 	p.Span = r.Spans.Start(p.ID, p.TraceID, t.String(), int(r.dev), int(req.Src), now)
+	if p.Txn != nil {
+		p.Txn.Span = p.Span
+	}
 	return p
 }
 
-// serveRead answers a remote GPU's read against the local partition.
+// serveRead answers a remote GPU's read against the local partition,
+// under a local serve transaction.
 func (r *RDMA) serveRead(req *flit.Packet, now sim.Cycle) {
 	r.Stats.ServedReads.Inc()
-	r.mem.ReadLine(req.Addr, now, func(at sim.Cycle) {
-		rsp := r.newResponse(flit.ReadRsp, req, at)
-		rsp.TrimEligible = req.TrimEligible
-		rsp.SectorOffset = req.SectorOffset
-		rsp.TrimBytes = req.TrimBytes
-		if req.SectorRequest {
-			// Sector-cache baseline: return exactly the sectors the
-			// request covers, on every network (not only
-			// inter-cluster ones).
-			g := req.TrimBytes
-			if g <= 0 {
-				g = flit.SectorBytes
-			}
-			off := int(req.Addr % flit.LineBytes)
-			first := off / g
-			last := (off + req.RequiredBytesHint - 1) / g
-			rsp.Trimmed = true
-			rsp.TrimBytes = (last - first + 1) * g
+	s := r.table.Acquire(txn.KindServe, now)
+	s.PAddr = req.Addr
+	s.Size = req.RequiredBytesHint
+	s.OriginGPU = r.gpuID
+	s.Push(r, rdmaRoleServeRead, 0, req)
+	r.mem.ReadLine(s, req.Addr, now)
+}
+
+func (r *RDMA) finishServeRead(s *txn.Transaction, req *flit.Packet, at sim.Cycle) {
+	rsp := r.newResponse(flit.ReadRsp, req, at)
+	rsp.TrimEligible = req.TrimEligible
+	rsp.SectorOffset = req.SectorOffset
+	rsp.TrimBytes = req.TrimBytes
+	if req.SectorRequest {
+		// Sector-cache baseline: return exactly the sectors the
+		// request covers, on every network (not only
+		// inter-cluster ones).
+		g := req.TrimBytes
+		if g <= 0 {
+			g = flit.SectorBytes
 		}
-		r.send(rsp, at)
-	})
+		off := int(req.Addr % flit.LineBytes)
+		first := off / g
+		last := (off + req.RequiredBytesHint - 1) / g
+		rsp.Trimmed = true
+		rsp.TrimBytes = (last - first + 1) * g
+	}
+	r.send(rsp, at)
+	s.Release()
 }
 
 func (r *RDMA) serveWrite(req *flit.Packet, now sim.Cycle) {
 	r.Stats.ServedWrites.Inc()
-	r.mem.WriteLine(req.Addr, now, func(at sim.Cycle) {
-		r.send(r.newResponse(flit.WriteRsp, req, at), at)
-	})
+	s := r.table.Acquire(txn.KindServe, now)
+	s.PAddr = req.Addr
+	s.OriginGPU = r.gpuID
+	s.Push(r, rdmaRoleServeWrite, 0, req)
+	r.mem.WriteLine(s, req.Addr, now)
 }
 
 func (r *RDMA) servePTE(req *flit.Packet, now sim.Cycle) {
 	r.Stats.ServedPTEs.Inc()
-	r.mem.ReadLine(req.Addr, now, func(at sim.Cycle) {
-		r.send(r.newResponse(flit.PTRsp, req, at), at)
-	})
+	s := r.table.Acquire(txn.KindServe, now)
+	s.PAddr = req.Addr
+	s.OriginGPU = r.gpuID
+	s.Push(r, rdmaRoleServePTE, 0, req)
+	r.mem.ReadLine(s, req.Addr, now)
 }

@@ -1,0 +1,81 @@
+package txn
+
+import (
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+// The whole point of the transaction pool is that the per-request hot
+// path — acquire, push a continuation, complete, release — costs zero
+// allocations in steady state. These pins are enforced with
+// testing.AllocsPerRun so `go test` alone catches a slip, and the
+// benchmarks give the real per-op numbers (`make bench-micro`).
+
+var benchDone = HandlerFunc(func(tr *Transaction, f Frame, at sim.Cycle) { tr.Release() })
+
+func TestTxnAcquireCompleteReleaseNoAllocs(t *testing.T) {
+	tb := NewTable("pin")
+	var now sim.Cycle
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr := tb.Acquire(KindRead, now)
+		tr.Push(benchDone, 0, 0, nil)
+		tr.SetState(StateL1, now)
+		tr.Complete(now)
+		now++
+	}); avg != 0 {
+		t.Errorf("acquire→complete→release allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// The deferred path inherits exactly one allocation from the scheduler
+// — the heap-key boxing it pays per distinct pending cycle regardless
+// of caller — and must add nothing of its own (the transaction's step
+// function is built once and survives recycling).
+func TestTxnDeferredCompleteAddsNoAllocations(t *testing.T) {
+	tb := NewTable("pin")
+	sched := sim.NewScheduler()
+	var now sim.Cycle
+	// Warm the scheduler's bucket free list.
+	for i := 0; i < 64; i++ {
+		tr := tb.Acquire(KindRead, now)
+		tr.Push(benchDone, 0, 0, nil)
+		tr.CompleteAfter(sched, now, 1)
+		now++
+		sched.Tick(now)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tr := tb.Acquire(KindRead, now)
+		tr.Push(benchDone, 0, 0, nil)
+		tr.CompleteAfter(sched, now, 1)
+		now++
+		sched.Tick(now)
+	}); avg > 1 {
+		t.Errorf("deferred complete allocates %.1f objects/op, want only the scheduler's heap-key boxing (1)", avg)
+	}
+}
+
+func BenchmarkTxnAcquireCompleteRelease(b *testing.B) {
+	tb := NewTable("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Cycle(i)
+		tr := tb.Acquire(KindRead, now)
+		tr.Push(benchDone, 0, 0, nil)
+		tr.SetState(StateL1, now)
+		tr.Complete(now)
+	}
+}
+
+func BenchmarkTxnDeferredComplete(b *testing.B) {
+	tb := NewTable("bench")
+	sched := sim.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Cycle(i)
+		tr := tb.Acquire(KindRead, now)
+		tr.Push(benchDone, 0, 0, nil)
+		tr.CompleteAfter(sched, now, 1)
+		sched.Tick(now + 1)
+	}
+}

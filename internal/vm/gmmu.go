@@ -4,15 +4,17 @@ import (
 	"netcrafter/internal/obs"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
+	"netcrafter/internal/txn"
 )
 
 // PTEReader performs the memory accesses of a page table walk. The GPU
 // layer implements it: local PTEs go through the local L2/DRAM, remote
 // PTEs become PTReq/PTRsp packets over the inter-GPU network.
 type PTEReader interface {
-	// ReadPTE reads the 8-byte entry at addr; done fires exactly once.
-	// It reports false when the reader cannot accept the request now.
-	ReadPTE(addr uint64, now sim.Cycle, done func(at sim.Cycle)) bool
+	// ReadPTE reads the 8-byte entry at addr on behalf of t, which
+	// completes exactly once when the data is available. It reports
+	// false when the reader cannot accept the request now.
+	ReadPTE(t *txn.Transaction, addr uint64, now sim.Cycle) bool
 }
 
 // GMMUConfig describes the GPU memory management unit (Table 2:
@@ -113,13 +115,23 @@ type GMMU struct {
 	active  int
 	waiting []*walkReq
 	// merge tracks in-flight walks so duplicate VPNs share one walk.
-	merge map[uint64][]func(uint64, sim.Cycle)
+	merge map[uint64][]*txn.Transaction
+	// freeReqs recycles per-walk state; walks are bounded by the walker
+	// pool plus the queue, so the free list stays small.
+	freeReqs *walkReq
 }
 
+// walkReq is the per-walk state: the primary transaction plus the walk
+// plan and the serial-step cursor, referenced from the transaction's
+// frames via Ref.
 type walkReq struct {
-	vpn  uint64
-	done func(uint64, sim.Cycle)
-	at   sim.Cycle
+	vpn   uint64
+	t     *txn.Transaction
+	steps []WalkStep
+	idx   int
+	base  uint64
+	start sim.Cycle
+	next  *walkReq
 }
 
 // NewGMMU creates a GMMU over the given page table and PTE reader.
@@ -134,20 +146,33 @@ func NewGMMU(name string, cfg GMMUConfig, pt *PageTable, mem PTEReader, sched *s
 		pwc:   newPWC(cfg.PWCEntries),
 		mem:   mem,
 		sched: sched,
-		merge: make(map[uint64][]func(uint64, sim.Cycle)),
+		merge: make(map[uint64][]*txn.Transaction),
 	}
 }
 
+// Continuation roles a GMMU parks on a walk's primary transaction; Ref
+// is always the *walkReq.
+const (
+	// gmmuRolePWC — the PWC probe latency elapsed; plan the walk.
+	gmmuRolePWC uint16 = iota
+	// gmmuRoleStep — one serial PTE read finished; advance the cursor.
+	gmmuRoleStep
+	// gmmuRoleStepRetry — the PTE reader rejected the current step;
+	// re-offer it after the 4-cycle poll.
+	gmmuRoleStepRetry
+)
+
 // Translate implements Translator. Requests beyond the walker pool are
 // queued internally, so it always accepts.
-func (g *GMMU) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) bool {
+func (g *GMMU) Translate(tr *txn.Transaction, now sim.Cycle) bool {
+	vpn := VPN(tr.VAddr)
 	if cbs, inflight := g.merge[vpn]; inflight {
-		g.merge[vpn] = append(cbs, done)
+		g.merge[vpn] = append(cbs, tr)
 		g.Stats.Merged.Inc()
 		return true
 	}
 	g.merge[vpn] = nil
-	req := &walkReq{vpn: vpn, done: done, at: now}
+	req := g.newWalkReq(vpn, tr)
 	if g.active >= g.cfg.Walkers {
 		g.waiting = append(g.waiting, req)
 		return true
@@ -156,64 +181,96 @@ func (g *GMMU) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)
 	return true
 }
 
+func (g *GMMU) newWalkReq(vpn uint64, tr *txn.Transaction) *walkReq {
+	req := g.freeReqs
+	if req == nil {
+		req = &walkReq{}
+	} else {
+		g.freeReqs = req.next
+	}
+	*req = walkReq{vpn: vpn, t: tr}
+	return req
+}
+
 func (g *GMMU) startWalk(req *walkReq, now sim.Cycle) {
 	g.active++
 	g.Stats.Walks.Inc()
-	start := now
+	req.start = now
 	// PWC probe costs its lookup latency, then the remaining levels
 	// are read from memory serially.
-	g.sched.After(now, g.cfg.PWCLatency, func(at sim.Cycle) {
-		steps, base, ok := g.pt.Walk(req.vpn)
-		if !ok {
-			panic("vm: page fault — walk of unmapped VPN (loader must premap)")
+	req.t.Push(g, gmmuRolePWC, 0, req)
+	req.t.CompleteAfter(g.sched, now, g.cfg.PWCLatency)
+}
+
+// OnComplete implements txn.Handler.
+func (g *GMMU) OnComplete(tr *txn.Transaction, f txn.Frame, at sim.Cycle) {
+	req := f.Ref.(*walkReq)
+	switch f.Role {
+	case gmmuRolePWC:
+		g.planWalk(req, at)
+	case gmmuRoleStep:
+		req.idx++
+		g.runSteps(req, at)
+	case gmmuRoleStepRetry:
+		g.runSteps(req, at)
+	}
+}
+
+func (g *GMMU) planWalk(req *walkReq, now sim.Cycle) {
+	steps, base, ok := g.pt.Walk(req.vpn)
+	if !ok {
+		panic("vm: page fault — walk of unmapped VPN (loader must premap)")
+	}
+	// Longest cached prefix: if the node of level L is cached we can
+	// start the walk at level L (skipping reads of levels 0..L-1).
+	first := 0
+	for level := Levels - 1; level >= 1; level-- {
+		if _, hit := g.pwc.lookup(pwcKey{level: level, prefix: prefixOf(req.vpn, level)}); hit {
+			first = level
+			break
 		}
-		// Longest cached prefix: if the node of level L is cached we
-		// can start the walk at level L (skipping reads of levels
-		// 0..L-1).
-		first := 0
-		for level := Levels - 1; level >= 1; level-- {
-			if _, hit := g.pwc.lookup(pwcKey{level: level, prefix: prefixOf(req.vpn, level)}); hit {
-				first = level
-				break
-			}
-		}
-		g.Stats.PWCHits.Add(int64(first))
-		g.runSteps(req, steps, first, base, start, at)
-	})
+	}
+	g.Stats.PWCHits.Add(int64(first))
+	req.steps, req.base, req.idx = steps, base, first
+	g.runSteps(req, now)
 }
 
 // runSteps issues the PTE reads of steps[idx:] serially, then completes
 // the walk.
-func (g *GMMU) runSteps(req *walkReq, steps []WalkStep, idx int, base uint64, start, now sim.Cycle) {
-	if idx >= len(steps) {
-		g.finishWalk(req, steps, base, start, now)
+func (g *GMMU) runSteps(req *walkReq, now sim.Cycle) {
+	if req.idx >= len(req.steps) {
+		g.finishWalk(req, now)
 		return
 	}
-	ok := g.mem.ReadPTE(steps[idx].Addr, now, func(at sim.Cycle) {
-		g.runSteps(req, steps, idx+1, base, start, at)
-	})
-	if !ok {
+	tr := req.t
+	tr.Push(g, gmmuRoleStep, 0, req)
+	if !g.mem.ReadPTE(tr, req.steps[req.idx].Addr, now) {
 		// Memory path busy; retry shortly without advancing.
-		g.sched.After(now, 4, func(at sim.Cycle) {
-			g.runSteps(req, steps, idx, base, start, at)
-		})
+		tr.Drop()
+		tr.Push(g, gmmuRoleStepRetry, 0, req)
+		tr.CompleteAfter(g.sched, now, 4)
 		return
 	}
 	g.Stats.WalkAccesses.Inc()
 }
 
-func (g *GMMU) finishWalk(req *walkReq, steps []WalkStep, base uint64, start, now sim.Cycle) {
+func (g *GMMU) finishWalk(req *walkReq, now sim.Cycle) {
 	// Install discovered node addresses into the PWC (levels 1..3).
-	for _, st := range steps[1:] {
+	for _, st := range req.steps[1:] {
 		g.pwc.insert(pwcKey{level: st.Level, prefix: prefixOf(req.vpn, st.Level)}, st.NodeAddr)
 	}
-	g.Stats.WalkLatency.Observe(float64(now - start))
-	g.ObsWalkLat.Observe(float64(now - start))
+	g.Stats.WalkLatency.Observe(float64(now - req.start))
+	g.ObsWalkLat.Observe(float64(now - req.start))
 	cbs := g.merge[req.vpn]
 	delete(g.merge, req.vpn)
-	req.done(base, now)
-	for _, cb := range cbs {
-		cb(base, now)
+	tr, base := req.t, req.base
+	*req = walkReq{next: g.freeReqs}
+	g.freeReqs = req
+	tr.Base = base
+	tr.Complete(now)
+	for _, w := range cbs {
+		w.Base = base
+		w.Complete(now)
 	}
 	g.active--
 	if len(g.waiting) > 0 {

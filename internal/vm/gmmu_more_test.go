@@ -26,10 +26,10 @@ func TestPWCEvictionLRU(t *testing.T) {
 }
 
 func TestWalkLatencySampled(t *testing.T) {
-	e, g, _, pt := gmmuRig(DefaultGMMUConfig(), 25)
+	e, g, _, pt, tb := gmmuRig(DefaultGMMUConfig(), 25)
 	pt.Map(0x777, 0x9000, 0)
 	done := false
-	g.Translate(0x777, 0, func(uint64, sim.Cycle) { done = true })
+	g.Translate(transReq(tb, 0x777, func(uint64, sim.Cycle) { done = true }), 0)
 	if _, err := e.RunUntil(func() bool { return done }, 10000); err != nil {
 		t.Fatal(err)
 	}
@@ -43,8 +43,8 @@ func TestWalkLatencySampled(t *testing.T) {
 }
 
 func TestWalkOfUnmappedPanics(t *testing.T) {
-	e, g, _, _ := gmmuRig(DefaultGMMUConfig(), 5)
-	g.Translate(0xdead, 0, func(uint64, sim.Cycle) {})
+	e, g, _, _, tb := gmmuRig(DefaultGMMUConfig(), 5)
+	g.Translate(transReq(tb, 0xdead, nil), 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("walk of unmapped VPN did not panic")
@@ -68,14 +68,14 @@ func TestPrefixOfLevels(t *testing.T) {
 }
 
 func TestManyConcurrentDistinctWalks(t *testing.T) {
-	e, g, _, pt := gmmuRig(DefaultGMMUConfig(), 30)
+	e, g, _, pt, tb := gmmuRig(DefaultGMMUConfig(), 30)
 	const n = 64
 	for i := 0; i < n; i++ {
 		pt.Map(uint64(i)<<18, uint64(i+1)<<PageShift, i%4)
 	}
 	done := 0
 	for i := 0; i < n; i++ {
-		g.Translate(uint64(i)<<18, 0, func(uint64, sim.Cycle) { done++ })
+		g.Translate(transReq(tb, uint64(i)<<18, func(uint64, sim.Cycle) { done++ }), 0)
 	}
 	if _, err := e.RunUntil(func() bool { return done == n }, 200000); err != nil {
 		t.Fatalf("only %d/%d walks completed: %v", done, n, err)

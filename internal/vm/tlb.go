@@ -4,15 +4,17 @@ import (
 	"netcrafter/internal/cache"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
+	"netcrafter/internal/txn"
 )
 
-// Translator is anything that can resolve a VPN to a physical page base
-// asynchronously: a TLB level or the GMMU itself.
+// Translator is anything that can resolve VPN(t.VAddr) to a physical
+// page base asynchronously: a TLB level or the GMMU itself.
 type Translator interface {
-	// Translate requests a translation; done fires exactly once. It
-	// reports false when the component cannot accept the request this
-	// cycle (caller retries).
-	Translate(vpn uint64, now sim.Cycle, done func(physBase uint64, at sim.Cycle)) bool
+	// Translate requests a translation for t; the resolved page base
+	// lands in t.Base and t completes exactly once. It reports false
+	// when the component cannot accept the request this cycle (caller
+	// retries).
+	Translate(t *txn.Transaction, now sim.Cycle) bool
 }
 
 // tlbArray is the associative storage of a TLB.
@@ -110,7 +112,7 @@ type TLB struct {
 	Name  string
 	cfg   TLBConfig
 	arr   *tlbArray
-	mshr  *cache.MSHR[func(uint64, sim.Cycle)]
+	mshr  *cache.MSHR[*txn.Transaction]
 	below Translator
 	sched *sim.Scheduler
 	Stats TLBStats
@@ -123,14 +125,30 @@ func NewTLB(name string, cfg TLBConfig, below Translator, sched *sim.Scheduler) 
 		Name:  name,
 		cfg:   cfg,
 		arr:   newTLBArray(cfg.Entries, cfg.Ways),
-		mshr:  cache.NewMSHR[func(uint64, sim.Cycle)](cfg.MSHRs),
+		mshr:  cache.NewMSHR[*txn.Transaction](cfg.MSHRs),
 		below: below,
 		sched: sched,
 	}
 }
 
+// Continuation roles a TLB parks on a transaction.
+const (
+	// tlbRoleLookup — the latent array probe after Translate accepts.
+	tlbRoleLookup uint16 = iota
+	// tlbRoleRetry — 4-cycle poll re-entering Translate after an MSHR
+	// stall.
+	tlbRoleRetry
+	// tlbRoleFill — the level below resolved the primary miss; insert
+	// and wake all merged waiters. Arg is the VPN.
+	tlbRoleFill
+	// tlbRoleIssueRetry — 4-cycle poll re-offering the primary miss to
+	// a lower level that rejected it. Arg is the VPN.
+	tlbRoleIssueRetry
+)
+
 // Translate implements Translator.
-func (t *TLB) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) bool {
+func (t *TLB) Translate(tr *txn.Transaction, now sim.Cycle) bool {
+	vpn := VPN(tr.VAddr)
 	// Reject up front if a new primary miss could not be tracked; a
 	// merged or hit request is always acceptable, but we cannot know
 	// which until after the (latent) lookup, so be conservative only
@@ -140,52 +158,73 @@ func (t *TLB) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle))
 		return false
 	}
 	t.Stats.Accesses.Inc()
-	t.sched.After(now, t.cfg.Latency, func(at sim.Cycle) {
-		if base, ok := t.arr.lookup(vpn); ok {
-			t.Stats.Hits.Inc()
-			done(base, at)
-			return
-		}
-		t.Stats.Misses.Inc()
-		switch t.mshr.Allocate(vpn, 1, done) {
-		case cache.Merged:
-			return
-		case cache.Stalled:
-			// Race: filled up since the pre-check. Retry shortly.
-			t.Stats.Stalls.Inc()
-			t.retry(vpn, at, done)
-			return
-		}
-		t.issueBelow(vpn, at)
-	})
+	tr.SetState(txn.StateTranslate, now)
+	tr.Push(t, tlbRoleLookup, 0, nil)
+	tr.CompleteAfter(t.sched, now, t.cfg.Latency)
 	return true
 }
 
-func (t *TLB) retry(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) {
-	// One self-rescheduling closure serves the whole retry loop; the
-	// naive recursive form allocated a fresh closure every 4-cycle poll
-	// and dominated the simulator's allocation profile under MSHR
-	// pressure. Timing is unchanged: first attempt at now+4, then every
-	// 4 cycles until Translate accepts.
-	var poll func(sim.Cycle)
-	poll = func(at sim.Cycle) {
-		if !t.Translate(vpn, at, done) {
-			t.sched.After(at, 4, poll)
+// OnComplete implements txn.Handler.
+func (t *TLB) OnComplete(tr *txn.Transaction, f txn.Frame, at sim.Cycle) {
+	switch f.Role {
+	case tlbRoleLookup:
+		t.lookup(tr, at)
+	case tlbRoleRetry:
+		// Timing matches the old self-rescheduling poll closure: first
+		// attempt 4 cycles after the stall, then every 4 cycles until
+		// Translate accepts.
+		if !t.Translate(tr, at) {
+			tr.Push(t, tlbRoleRetry, 0, nil)
+			tr.CompleteAfter(t.sched, at, 4)
 		}
+	case tlbRoleFill:
+		t.fill(tr, f.Arg, at)
+	case tlbRoleIssueRetry:
+		t.tryBelow(tr, f.Arg, at)
 	}
-	t.sched.After(now, 4, poll)
 }
 
-func (t *TLB) issueBelow(vpn uint64, now sim.Cycle) {
-	ok := t.below.Translate(vpn, now, func(base uint64, at sim.Cycle) {
-		t.arr.insert(vpn, base)
-		waiters, _, _ := t.mshr.Release(vpn)
-		for _, w := range waiters {
-			w(base, at)
-		}
-	})
-	if !ok {
-		t.sched.After(now, 4, func(at sim.Cycle) { t.issueBelow(vpn, at) })
+func (t *TLB) lookup(tr *txn.Transaction, at sim.Cycle) {
+	vpn := VPN(tr.VAddr)
+	if base, ok := t.arr.lookup(vpn); ok {
+		t.Stats.Hits.Inc()
+		tr.Base = base
+		tr.Complete(at)
+		return
+	}
+	t.Stats.Misses.Inc()
+	switch t.mshr.Allocate(vpn, 1, tr) {
+	case cache.Merged:
+		return
+	case cache.Stalled:
+		// Race: filled up since the pre-check. Retry shortly.
+		t.Stats.Stalls.Inc()
+		tr.Push(t, tlbRoleRetry, 0, nil)
+		tr.CompleteAfter(t.sched, at, 4)
+		return
+	}
+	tr.Push(t, tlbRoleFill, vpn, nil)
+	t.tryBelow(tr, vpn, at)
+}
+
+func (t *TLB) tryBelow(tr *txn.Transaction, vpn uint64, now sim.Cycle) {
+	if !t.below.Translate(tr, now) {
+		tr.Push(t, tlbRoleIssueRetry, vpn, nil)
+		tr.CompleteAfter(t.sched, now, 4)
+	}
+}
+
+// fill runs when the level below resolved the primary miss carried by
+// tr: install the translation and wake every merged waiter. The
+// primary is waiters[0], so completion order matches registration
+// order with the primary first.
+func (t *TLB) fill(tr *txn.Transaction, vpn uint64, at sim.Cycle) {
+	base := tr.Base
+	t.arr.insert(vpn, base)
+	waiters, _, _ := t.mshr.Release(vpn)
+	for _, w := range waiters {
+		w.Base = base
+		w.Complete(at)
 	}
 }
 

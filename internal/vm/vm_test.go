@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"netcrafter/internal/sim"
+	"netcrafter/internal/txn"
 )
 
 // bumpAlloc hands out frames per GPU from disjoint ranges so tests can
@@ -111,6 +112,21 @@ func TestPageTableRoundTripProperty(t *testing.T) {
 	}
 }
 
+// transReq acquires a transaction carrying a translation request for
+// vpn; its bottom frame runs done with the resolved base and releases
+// the transaction — the shape every Translator caller uses.
+func transReq(tb *txn.Table, vpn uint64, done func(base uint64, at sim.Cycle)) *txn.Transaction {
+	t := tb.Acquire(txn.KindRead, 0)
+	t.VAddr = vpn << PageShift
+	t.Push(txn.HandlerFunc(func(t *txn.Transaction, _ txn.Frame, at sim.Cycle) {
+		if done != nil {
+			done(t.Base, at)
+		}
+		t.Release()
+	}), 0, 0, nil)
+	return t
+}
+
 // fakeMem services PTE reads after a fixed delay and records them.
 type fakeMem struct {
 	sched  *sim.Scheduler
@@ -119,34 +135,37 @@ type fakeMem struct {
 	reject int // reject this many requests first (backpressure test)
 }
 
-func (m *fakeMem) ReadPTE(addr uint64, now sim.Cycle, done func(sim.Cycle)) bool {
+func (m *fakeMem) ReadPTE(t *txn.Transaction, addr uint64, now sim.Cycle) bool {
 	if m.reject > 0 {
 		m.reject--
 		return false
 	}
 	m.reads = append(m.reads, addr)
-	m.sched.After(now, m.delay, done)
+	t.CompleteAfter(m.sched, now, m.delay)
 	return true
 }
 
-func gmmuRig(cfg GMMUConfig, memDelay sim.Cycle) (*sim.Engine, *GMMU, *fakeMem, *PageTable) {
+func gmmuRig(cfg GMMUConfig, memDelay sim.Cycle) (*sim.Engine, *GMMU, *fakeMem, *PageTable, *txn.Table) {
 	e := sim.NewEngine()
 	sched := sim.NewScheduler()
 	e.Register("sched", sched)
 	pt := NewPageTable(&bumpAlloc{})
 	mem := &fakeMem{sched: sched, delay: memDelay}
 	g := NewGMMU("gmmu", cfg, pt, mem, sched)
-	return e, g, mem, pt
+	return e, g, mem, pt, txn.NewTable("test")
 }
 
 func TestGMMUWalkTiming(t *testing.T) {
-	e, g, mem, pt := gmmuRig(DefaultGMMUConfig(), 50)
+	e, g, mem, pt, tb := gmmuRig(DefaultGMMUConfig(), 50)
 	pt.Map(0x100, 0x7000, 0)
 	var at sim.Cycle = -1
 	var got uint64
-	g.Translate(0x100, 0, func(base uint64, now sim.Cycle) { got, at = base, now })
+	g.Translate(transReq(tb, 0x100, func(base uint64, now sim.Cycle) { got, at = base, now }), 0)
 	if _, err := e.RunUntil(func() bool { return at >= 0 }, 10000); err != nil {
 		t.Fatal(err)
+	}
+	if tb.Live() != 0 {
+		t.Fatal("transaction leaked")
 	}
 	if got != 0x7000 {
 		t.Fatalf("walk returned %#x", got)
@@ -161,17 +180,17 @@ func TestGMMUWalkTiming(t *testing.T) {
 }
 
 func TestPWCSkipsUpperLevels(t *testing.T) {
-	e, g, mem, pt := gmmuRig(DefaultGMMUConfig(), 50)
+	e, g, mem, pt, tb := gmmuRig(DefaultGMMUConfig(), 50)
 	// Two VPNs in the same 2MB region share levels 0..2.
 	pt.Map(0x200, 0x1000, 0)
 	pt.Map(0x201, 0x2000, 0)
 	done := 0
-	g.Translate(0x200, 0, func(uint64, sim.Cycle) { done++ })
+	g.Translate(transReq(tb, 0x200, func(uint64, sim.Cycle) { done++ }), 0)
 	if _, err := e.RunUntil(func() bool { return done == 1 }, 10000); err != nil {
 		t.Fatal(err)
 	}
 	before := len(mem.reads)
-	g.Translate(0x201, e.Now(), func(uint64, sim.Cycle) { done++ })
+	g.Translate(transReq(tb, 0x201, func(uint64, sim.Cycle) { done++ }), e.Now())
 	if _, err := e.RunUntil(func() bool { return done == 2 }, 10000); err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +203,11 @@ func TestPWCSkipsUpperLevels(t *testing.T) {
 }
 
 func TestGMMUMergesDuplicateVPNs(t *testing.T) {
-	e, g, mem, pt := gmmuRig(DefaultGMMUConfig(), 50)
+	e, g, mem, pt, tb := gmmuRig(DefaultGMMUConfig(), 50)
 	pt.Map(0x300, 0x3000, 0)
 	done := 0
 	for i := 0; i < 5; i++ {
-		g.Translate(0x300, 0, func(uint64, sim.Cycle) { done++ })
+		g.Translate(transReq(tb, 0x300, func(uint64, sim.Cycle) { done++ }), 0)
 	}
 	if _, err := e.RunUntil(func() bool { return done == 5 }, 10000); err != nil {
 		t.Fatal(err)
@@ -204,14 +223,14 @@ func TestGMMUMergesDuplicateVPNs(t *testing.T) {
 func TestGMMUWalkerPoolLimit(t *testing.T) {
 	cfg := DefaultGMMUConfig()
 	cfg.Walkers = 2
-	e, g, _, pt := gmmuRig(cfg, 100)
+	e, g, _, pt, tb := gmmuRig(cfg, 100)
 	// Use distinct 2MB regions so the PWC cannot help.
 	for i := 0; i < 6; i++ {
 		pt.Map(uint64(i)<<BitsPerLevel<<BitsPerLevel, uint64(i+1)<<PageShift, 0)
 	}
 	done := 0
 	for i := 0; i < 6; i++ {
-		g.Translate(uint64(i)<<BitsPerLevel<<BitsPerLevel, 0, func(uint64, sim.Cycle) { done++ })
+		g.Translate(transReq(tb, uint64(i)<<BitsPerLevel<<BitsPerLevel, func(uint64, sim.Cycle) { done++ }), 0)
 	}
 	e.Step()
 	if g.ActiveWalks() != 2 || g.QueuedWalks() != 4 {
@@ -226,11 +245,11 @@ func TestGMMUWalkerPoolLimit(t *testing.T) {
 }
 
 func TestGMMURetriesOnMemoryBackpressure(t *testing.T) {
-	e, g, mem, pt := gmmuRig(DefaultGMMUConfig(), 10)
+	e, g, mem, pt, tb := gmmuRig(DefaultGMMUConfig(), 10)
 	mem.reject = 3
 	pt.Map(0x400, 0x4000, 0)
 	done := false
-	g.Translate(0x400, 0, func(uint64, sim.Cycle) { done = true })
+	g.Translate(transReq(tb, 0x400, func(uint64, sim.Cycle) { done = true }), 0)
 	if _, err := e.RunUntil(func() bool { return done }, 10000); err != nil {
 		t.Fatalf("walk never completed under backpressure: %v", err)
 	}
@@ -243,9 +262,12 @@ type chainBelow struct {
 	calls int
 }
 
-func (c *chainBelow) Translate(vpn uint64, now sim.Cycle, done func(uint64, sim.Cycle)) bool {
+func (c *chainBelow) Translate(t *txn.Transaction, now sim.Cycle) bool {
 	c.calls++
-	c.sched.After(now, c.delay, func(at sim.Cycle) { done(vpn*PageBytes, at) })
+	c.sched.After(now, c.delay, func(at sim.Cycle) {
+		t.Base = VPN(t.VAddr) * PageBytes
+		t.Complete(at)
+	})
 	return true
 }
 
@@ -255,14 +277,15 @@ func TestTLBHitAndMissPath(t *testing.T) {
 	e.Register("sched", sched)
 	below := &chainBelow{sched: sched, delay: 100}
 	tlb := NewTLB("l1tlb", L1TLBConfig(), below, sched)
+	tb := txn.NewTable("test")
 
 	var firstAt, secondAt sim.Cycle = -1, -1
-	tlb.Translate(7, 0, func(base uint64, at sim.Cycle) {
+	tlb.Translate(transReq(tb, 7, func(base uint64, at sim.Cycle) {
 		if base != 7*PageBytes {
 			t.Errorf("bad translation %#x", base)
 		}
 		firstAt = at
-	})
+	}), 0)
 	if _, err := e.RunUntil(func() bool { return firstAt >= 0 }, 10000); err != nil {
 		t.Fatal(err)
 	}
@@ -270,9 +293,12 @@ func TestTLBHitAndMissPath(t *testing.T) {
 		t.Fatalf("miss completed at %d, too fast", firstAt)
 	}
 	start := e.Now()
-	tlb.Translate(7, e.Now(), func(_ uint64, at sim.Cycle) { secondAt = at })
+	tlb.Translate(transReq(tb, 7, func(_ uint64, at sim.Cycle) { secondAt = at }), e.Now())
 	if _, err := e.RunUntil(func() bool { return secondAt >= 0 }, 10000); err != nil {
 		t.Fatal(err)
+	}
+	if tb.Live() != 0 {
+		t.Fatal("transactions leaked")
 	}
 	if secondAt-start > 5 {
 		t.Fatalf("hit took %d cycles, want ~1", secondAt-start)
@@ -291,9 +317,10 @@ func TestTLBMergesMisses(t *testing.T) {
 	e.Register("sched", sched)
 	below := &chainBelow{sched: sched, delay: 200}
 	tlb := NewTLB("tlb", L1TLBConfig(), below, sched)
+	tb := txn.NewTable("test")
 	done := 0
 	for i := 0; i < 4; i++ {
-		tlb.Translate(9, 0, func(uint64, sim.Cycle) { done++ })
+		tlb.Translate(transReq(tb, 9, func(uint64, sim.Cycle) { done++ }), 0)
 	}
 	if _, err := e.RunUntil(func() bool { return done == 4 }, 10000); err != nil {
 		t.Fatal(err)
@@ -330,17 +357,18 @@ func TestTLBStallWhenMSHRFull(t *testing.T) {
 	cfg := L1TLBConfig()
 	cfg.MSHRs = 2
 	tlb := NewTLB("tlb", cfg, below, sched)
-	if !tlb.Translate(1, 0, func(uint64, sim.Cycle) {}) {
+	tb := txn.NewTable("test")
+	if !tlb.Translate(transReq(tb, 1, nil), 0) {
 		t.Fatal("first miss rejected")
 	}
-	if !tlb.Translate(2, 0, func(uint64, sim.Cycle) {}) {
+	if !tlb.Translate(transReq(tb, 2, nil), 0) {
 		t.Fatal("second miss rejected")
 	}
 	e.Run(50) // let both misses allocate
-	if tlb.Translate(3, e.Now(), func(uint64, sim.Cycle) {}) {
+	if tlb.Translate(transReq(tb, 3, nil), e.Now()) {
 		t.Fatal("third distinct miss accepted with full MSHRs")
 	}
-	if !tlb.Translate(1, e.Now(), func(uint64, sim.Cycle) {}) {
+	if !tlb.Translate(transReq(tb, 1, nil), e.Now()) {
 		t.Fatal("mergeable miss rejected")
 	}
 	if tlb.Stats.Stalls.Value() == 0 {
