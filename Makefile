@@ -8,9 +8,11 @@
 GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
-	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small
+	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small \
+	staticcheck timeline-smoke
 
-ci: fmt vet build race fuzz-smoke docs-check bench-micro-smoke sweep-smoke
+ci: fmt vet staticcheck build race fuzz-smoke docs-check bench-micro-smoke \
+	sweep-smoke timeline-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -18,6 +20,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Gated: runs only where the tool is installed, so CI environments
+# without it still pass the rest of the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -42,6 +53,8 @@ bench-micro:
 		-benchmem -count=3 ./internal/network
 	$(GO) test -run='^$$' -bench='BenchmarkTxn' \
 		-benchmem -count=3 ./internal/txn
+	$(GO) test -run='^$$' -bench='BenchmarkTimeline' \
+		-benchmem -count=3 ./internal/obs/timeline
 
 bench-micro-smoke:
 	$(GO) test -run='NoAllocs' -bench='BenchmarkEngine|BenchmarkQueue|BenchmarkScheduler' \
@@ -50,15 +63,19 @@ bench-micro-smoke:
 		-benchmem -count=1 -benchtime=100x ./internal/network
 	$(GO) test -run='NoAllocs' -bench='BenchmarkTxn' \
 		-benchmem -count=1 -benchtime=100x ./internal/txn
+	$(GO) test -run='NoAllocs' -bench='BenchmarkTimelineDetached' \
+		-benchmem -count=1 -benchtime=100x ./internal/obs/timeline
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
 
 # Every package must carry a package-level doc comment, and the
 # committed architecture DOT must match the current import graph.
+# The package list comes from `go list` so nested packages (e.g.
+# internal/obs/timeline) are covered too.
 docs-check:
 	@missing=0; \
-	for d in . internal/*; do \
+	for d in . $$($(GO) list -f '{{.Dir}}' ./internal/...); do \
 		if ! grep -qs '^// Package ' $$d/*.go; then \
 			echo "docs-check: missing '// Package' comment in $$d"; missing=1; fi; \
 	done; \
@@ -86,6 +103,7 @@ arch-dot:
 	  '' \
 	  '  // Layers, foundation at the bottom (edges point at dependencies).' \
 	  '  { rank=same; sim; }' \
+	  '  { rank=same; "obs/timeline"; }' \
 	  '  { rank=same; obs; stats; workload; }' \
 	  '  { rank=same; cache; topo; lasp; }' \
 	  '  { rank=same; txn; }' \
@@ -100,7 +118,7 @@ arch-dot:
 	awk '{ from=$$1; sub("netcrafter/internal/","",from); \
 	       for(i=2;i<=NF;i++) if ($$i ~ /^netcrafter\/internal\//) { \
 	         to=$$i; sub("netcrafter/internal/","",to); \
-	         printf "  %s -> %s;\n", from, to } }' | sort; \
+	         printf "  \"%s\" -> \"%s\";\n", from, to } }' | sort; \
 	printf '}\n'; \
 	} > $(ARCH_DOT)
 
@@ -111,6 +129,22 @@ sweep-smoke:
 		-manifest /tmp/netcrafter-sweep-smoke.json -q > /dev/null
 	$(GO) run -race ./cmd/netcrafter-bench -exp fig3 -scale tiny -parallel 8 \
 		-manifest /tmp/netcrafter-sweep-smoke.json -resume -q > /dev/null
+
+# End-to-end smoke of the timeline exporter: a tiny run must produce a
+# Chrome Trace Event JSON document Perfetto would accept (one object
+# with a traceEvents array), plus the heatmap and component profile on
+# stdout. The schema details are pinned by the cmd/netcrafter-sim tests;
+# this proves the shipped binary path works.
+timeline-smoke:
+	$(GO) run ./cmd/netcrafter-sim -workload GUPS -scale tiny \
+		-timeline /tmp/netcrafter-timeline-smoke.json -heatmap -profile-components \
+		> /tmp/netcrafter-timeline-smoke.txt
+	@grep -q '"traceEvents"' /tmp/netcrafter-timeline-smoke.json || \
+		{ echo "timeline-smoke: no traceEvents in export"; exit 1; }
+	@grep -q 'congestion heatmap' /tmp/netcrafter-timeline-smoke.txt || \
+		{ echo "timeline-smoke: heatmap missing"; exit 1; }
+	@grep -q 'component profile' /tmp/netcrafter-timeline-smoke.txt || \
+		{ echo "timeline-smoke: component profile missing"; exit 1; }
 
 # The committed perf trajectory: the full small-scale sweep, every
 # experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).

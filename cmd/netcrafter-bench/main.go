@@ -40,6 +40,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "skip experiments already present in the manifest")
 		manifest = flag.String("manifest", "auto", "sweep manifest path ('auto' = BENCH_<scale>.json, 'off' = none)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
+		profile  = flag.Bool("profile", true, "record per-component host-time profiles in the manifest")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	)
@@ -75,7 +76,7 @@ func main() {
 		return
 	}
 
-	opt := netcrafter.ExperimentOptions{Parallel: *parallel}
+	opt := netcrafter.ExperimentOptions{Parallel: *parallel, Profile: *profile}
 	switch *scale {
 	case "tiny":
 		opt.Scale = netcrafter.Tiny()

@@ -8,6 +8,7 @@
 //	               [-topo preset|spec.json] [-topo-list] [-dot FILE]
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
+//	               [-timeline FILE] [-heatmap] [-profile-components]
 //	               [-inflight-dump]
 //
 // -topo replaces the default 4-GPU/2-cluster fabric with a named preset
@@ -18,12 +19,28 @@
 // -spans streams one JSON line per finished packet span to FILE and
 // prints the per-stage latency breakdown table; -metrics writes a
 // Prometheus-style snapshot of the metrics registry to FILE after the
-// run ("-" writes either to stdout).
+// run.
+//
+// -timeline records the run's event timeline — per-component engine
+// execute slices, cycle-windowed link utilization and queue occupancy,
+// and per-transaction state dwells — and writes it as Chrome Trace
+// Event JSON to FILE, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. -heatmap prints the per-link congestion heatmap
+// (utilization per cycle window, hottest links ranked) after the run;
+// both need a single -workload. -profile-components enables the engine
+// self-profiler and prints where host time went per simulated
+// component.
+//
+// -timeline, -spans, -metrics and -dot accept "-" for stdout. Output
+// files are opened before the simulation starts, so an unwritable path
+// fails immediately with a non-zero exit instead of after minutes of
+// simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,55 +48,79 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams injected and its exit code returned, so
+// the whole flag matrix is testable in-process.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netcrafter-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl     = flag.String("workload", "GUPS", "workload name or 'all' (see -list)")
-		cfgSel = flag.String("config", "netcrafter", "baseline | ideal | netcrafter | sector")
-		scale  = flag.String("scale", "small", "tiny | small | medium")
-		inter  = flag.Int("inter", 0, "override inter-cluster GB/s (ignored with -topo)")
-		intra  = flag.Int("intra", 0, "override intra-cluster GB/s (ignored with -topo)")
-		topoF  = flag.String("topo", "", "topology preset name or JSON spec file (see -topo-list)")
-		topoL  = flag.Bool("topo-list", false, "list topology presets and exit")
-		dotF   = flag.String("dot", "", "write the -topo graph as Graphviz dot to this file ('-' = stdout) and exit")
-		pool   = flag.Int("pool", -1, "override Flit Pooling window (cycles)")
-		flitSz = flag.Int("flit", 0, "override flit size in bytes (8 or 16)")
-		seed   = flag.Uint64("seed", 1, "workload seed")
-		list   = flag.Bool("list", false, "list workloads and exit")
-		verb   = flag.Bool("v", false, "verbose per-type traffic breakdown")
-		traceF = flag.String("trace", "", "write a JSON-lines wire trace to this file")
-		spansF = flag.String("spans", "", "write packet lifecycle spans (JSONL) to this file ('-' = stdout) and print the latency breakdown")
-		metF   = flag.String("metrics", "", "write a Prometheus-style metrics snapshot to this file ('-' = stdout)")
-		inFlt  = flag.Bool("inflight-dump", false, "dump the live transaction tables after each run; on a run-limit error, also print the stuck-transaction watchdog report")
+		wl     = fs.String("workload", "GUPS", "workload name or 'all' (see -list)")
+		cfgSel = fs.String("config", "netcrafter", "baseline | ideal | netcrafter | sector")
+		scale  = fs.String("scale", "small", "tiny | small | medium")
+		inter  = fs.Int("inter", 0, "override inter-cluster GB/s (ignored with -topo)")
+		intra  = fs.Int("intra", 0, "override intra-cluster GB/s (ignored with -topo)")
+		topoF  = fs.String("topo", "", "topology preset name or JSON spec file (see -topo-list)")
+		topoL  = fs.Bool("topo-list", false, "list topology presets and exit")
+		dotF   = fs.String("dot", "", "write the -topo graph as Graphviz dot to this file ('-' = stdout) and exit")
+		pool   = fs.Int("pool", -1, "override Flit Pooling window (cycles)")
+		flitSz = fs.Int("flit", 0, "override flit size in bytes (8 or 16)")
+		seed   = fs.Uint64("seed", 1, "workload seed")
+		list   = fs.Bool("list", false, "list workloads and exit")
+		verb   = fs.Bool("v", false, "verbose per-type traffic breakdown")
+		traceF = fs.String("trace", "", "write a JSON-lines wire trace to this file")
+		spansF = fs.String("spans", "", "write packet lifecycle spans (JSONL) to this file ('-' = stdout) and print the latency breakdown")
+		metF   = fs.String("metrics", "", "write a Prometheus-style metrics snapshot to this file ('-' = stdout)")
+		tlF    = fs.String("timeline", "", "write a Chrome Trace Event JSON timeline to this file ('-' = stdout; open in Perfetto or chrome://tracing)")
+		heat   = fs.Bool("heatmap", false, "print the per-link congestion heatmap after the run")
+		prof   = fs.Bool("profile-components", false, "enable the engine self-profiler and print the per-component host-time table")
+		inFlt  = fs.Bool("inflight-dump", false, "dump the live transaction tables after each run; on a run-limit error, also print the stuck-transaction watchdog report")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "netcrafter-sim:", err)
+		return 1
+	}
 
 	if *list {
-		fmt.Println(strings.Join(netcrafter.Workloads(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(netcrafter.Workloads(), "\n"))
+		return 0
 	}
 	if *topoL {
-		fmt.Println(strings.Join(netcrafter.TopologyPresets(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(netcrafter.TopologyPresets(), "\n"))
+		return 0
 	}
 
 	cfg, err := pickConfig(*cfgSel)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *topoF != "" {
 		g, err := netcrafter.LoadTopology(*topoF)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		cfg = cfg.WithTopology(g)
 	}
 	if *dotF != "" {
 		if cfg.Topo == nil {
-			fail(fmt.Errorf("-dot needs -topo"))
+			return fail(fmt.Errorf("-dot needs -topo"))
 		}
-		if _, err := outFile(*dotF).WriteString(cfg.Topo.DOT()); err != nil {
-			fail(err)
+		w, closeW, err := openOut(*dotF, stdout)
+		if err != nil {
+			return fail(err)
 		}
-		return
+		if _, err := io.WriteString(w, cfg.Topo.DOT()); err != nil {
+			return fail(err)
+		}
+		if err := closeW(); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 	if *inter > 0 {
 		cfg.InterGBps = *inter
@@ -95,10 +136,13 @@ func main() {
 		cfg.GPU.FlitBytes = *flitSz
 	}
 	cfg.Seed = *seed
+	if *prof {
+		cfg.Profile = true
+	}
 
 	sc, err := pickScale(*scale)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	sc.Seed = *seed
 
@@ -106,83 +150,159 @@ func main() {
 	if *wl == "all" {
 		names = netcrafter.Workloads()
 	}
+	// The timeline's tracks belong to one system instance, so timeline
+	// exports only make sense for a single-workload run.
+	if (*tlF != "" || *heat) && len(names) != 1 {
+		return fail(fmt.Errorf("-timeline and -heatmap need a single -workload, not %d", len(names)))
+	}
+
+	// Open every output before simulating: an unwritable path must fail
+	// now, not after the run.
 	var rec *netcrafter.TraceRecorder
+	var closeTrace = noClose
 	if *traceF != "" {
-		f, err := os.Create(*traceF)
+		w, closeW, err := openOut(*traceF, stdout)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		defer f.Close()
-		rec = netcrafter.NewTraceRecorder(f)
-		defer rec.Flush()
+		rec, closeTrace = netcrafter.NewTraceRecorder(w), closeW
 	}
 	var reg *netcrafter.MetricsRegistry
+	var metOut io.Writer
+	var closeMet = noClose
 	if *metF != "" {
+		metOut, closeMet, err = openOut(*metF, stdout)
+		if err != nil {
+			return fail(err)
+		}
 		reg = netcrafter.NewMetricsRegistry()
 	}
 	var spans *netcrafter.SpanRecorder
+	var closeSpans = noClose
 	if *spansF != "" {
-		spans = netcrafter.NewSpanRecorder(outFile(*spansF))
-		defer spans.Flush()
+		w, closeW, err := openOut(*spansF, stdout)
+		if err != nil {
+			return fail(err)
+		}
+		spans, closeSpans = netcrafter.NewSpanRecorder(w), closeW
+	}
+	var tl *netcrafter.Timeline
+	var tlOut io.Writer
+	var closeTl = noClose
+	if *tlF != "" {
+		tlOut, closeTl, err = openOut(*tlF, stdout)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if *tlF != "" || *heat {
+		tl = netcrafter.NewTimeline(0)
 	}
 
 	for _, name := range names {
 		var res *netcrafter.Result
 		var err error
-		if rec != nil || reg != nil || spans != nil || *inFlt {
+		if rec != nil || reg != nil || spans != nil || tl != nil || *inFlt {
 			sys := netcrafter.NewSystem(cfg)
 			sys.AttachTrace(rec)
-			sys.AttachObs(reg, spans)
+			sys.AttachObs(reg, spans, tl)
 			res, err = netcrafter.RunOnSystem(sys, name, sc, 500_000_000)
+			if tl != nil {
+				tl.Finish(sys.Engine.Now())
+			}
 			if *inFlt {
 				if err != nil {
 					// A wedged run: the watchdog names the transactions
 					// that stopped moving, with their stage history.
-					fmt.Fprintf(os.Stderr, "%s: %v; stuck-transaction report:\n", name, err)
-					if sys.CheckStuck(os.Stderr, 10_000) == 0 {
-						fmt.Fprintln(os.Stderr, "  (no transaction older than 10000 cycles)")
+					fmt.Fprintf(stderr, "%s: %v; stuck-transaction report:\n", name, err)
+					if sys.CheckStuck(stderr, 10_000) == 0 {
+						fmt.Fprintln(stderr, "  (no transaction older than 10000 cycles)")
 					}
 				}
-				sys.DumpInFlight(os.Stdout)
+				sys.DumpInFlight(stdout)
 			}
 		} else {
 			res, err = netcrafter.Run(cfg, name, sc)
 		}
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		printResult(res, *verb)
+		printResult(stdout, res, *verb)
+		if *prof {
+			fmt.Fprintln(stdout)
+			if err := netcrafter.WriteComponentProfile(stdout, res.Components); err != nil {
+				return fail(err)
+			}
+		}
 	}
+
 	if rec != nil {
-		fmt.Printf("trace: %d events written to %s\n", rec.Events(), *traceF)
+		if err := rec.Flush(); err != nil {
+			return fail(err)
+		}
+		if err := closeTrace(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace: %d events written to %s\n", rec.Events(), *traceF)
 	}
 	if spans != nil {
 		if err := spans.Flush(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("\nspans: %d recorded (%s)\n%s", spans.Spans(), *spansF, spans.Breakdown().Table())
+		if err := closeSpans(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "\nspans: %d recorded (%s)\n%s", spans.Spans(), *spansF, spans.Breakdown().Table())
 	}
 	if reg != nil {
-		if err := reg.WriteProm(outFile(*metF)); err != nil {
-			fail(err)
+		if err := reg.WriteProm(metOut); err != nil {
+			return fail(err)
+		}
+		if err := closeMet(); err != nil {
+			return fail(err)
 		}
 		if *metF != "-" {
-			fmt.Printf("metrics: snapshot written to %s\n", *metF)
+			fmt.Fprintf(stdout, "metrics: snapshot written to %s\n", *metF)
 		}
 	}
+	if tl != nil {
+		if *tlF != "" {
+			if err := tl.WriteTrace(tlOut); err != nil {
+				return fail(err)
+			}
+			if err := closeTl(); err != nil {
+				return fail(err)
+			}
+			if *tlF != "-" {
+				fmt.Fprintf(stdout, "timeline: %d events written to %s (open in Perfetto / chrome://tracing)\n",
+					tl.Events(), *tlF)
+			}
+		}
+		if *heat {
+			fmt.Fprintln(stdout)
+			if err := tl.WriteHeatmap(stdout, 0); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return 0
 }
 
-// outFile opens path for writing; "-" means stdout. Files stay open
-// until process exit (the OS closes them; this is a one-shot CLI).
-func outFile(path string) *os.File {
+// noClose is the close function of a stream the CLI does not own
+// (stdout).
+func noClose() error { return nil }
+
+// openOut opens path for writing; "-" means the given stdout, which is
+// never closed.
+func openOut(path string, stdout io.Writer) (io.Writer, func() error, error) {
 	if path == "-" {
-		return os.Stdout
+		return stdout, noClose, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return nil, nil, err
 	}
-	return f
+	return f, f.Close, nil
 }
 
 func pickConfig(sel string) (netcrafter.Config, error) {
@@ -213,22 +333,17 @@ func pickScale(sel string) (netcrafter.Scale, error) {
 	return netcrafter.Scale{}, fmt.Errorf("unknown -scale %q", sel)
 }
 
-func printResult(r *netcrafter.Result, verbose bool) {
-	fmt.Printf("%-8s cycles=%-10d instr=%-8d L1acc=%-9d L1MPKI=%-7.2f\n",
+func printResult(w io.Writer, r *netcrafter.Result, verbose bool) {
+	fmt.Fprintf(w, "%-8s cycles=%-10d instr=%-8d L1acc=%-9d L1MPKI=%-7.2f\n",
 		r.Workload, r.Cycles, r.Instructions, r.L1Accesses, r.L1MPKI())
-	fmt.Printf("         inter-link util=%.2f  inter-lat=%.0fcy intra-lat=%.0fcy  remote r/w=%d/%d\n",
+	fmt.Fprintf(w, "         inter-link util=%.2f  inter-lat=%.0fcy intra-lat=%.0fcy  remote r/w=%d/%d\n",
 		r.InterUtilization, r.InterReadLatency, r.IntraReadLatency, r.RemoteReads, r.RemoteWrites)
-	fmt.Printf("         flits=%d wireB=%d stitched=%.1f%% trimmedFlits=%d pooled=%d ptwShare=%.1f%%\n",
+	fmt.Fprintf(w, "         flits=%d wireB=%d stitched=%.1f%% trimmedFlits=%d pooled=%d ptwShare=%.1f%%\n",
 		r.Net.FlitsTotal.Value(), r.Net.WireBytes.Value(), 100*r.Net.StitchRate(),
 		r.Net.FlitsTrimmed.Value(), r.Net.PooledFlits.Value(), 100*r.Net.PTWShare())
 	if verbose {
-		fmt.Printf("         by-type: %s\n", r.Net.FlitsByType)
-		fmt.Printf("         occupancy: %s\n", r.Net.Occupancy)
-		fmt.Printf("         bytes-needed: %s\n", r.BytesNeeded)
+		fmt.Fprintf(w, "         by-type: %s\n", r.Net.FlitsByType)
+		fmt.Fprintf(w, "         occupancy: %s\n", r.Net.Occupancy)
+		fmt.Fprintf(w, "         bytes-needed: %s\n", r.BytesNeeded)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "netcrafter-sim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagMatrix drives the CLI in-process over the output-flag
+// matrix: every sink flag accepting '-' for stdout, unwritable paths
+// failing upfront with a non-zero exit, and the guards and exports
+// behaving. Tiny-scale GUPS keeps each simulating case fast.
+func TestRunFlagMatrix(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-workload", "GUPS", "-scale", "tiny"}
+	cases := []struct {
+		name    string
+		args    []string
+		exit    int
+		wantOut []string // substrings that must appear on stdout
+		wantErr []string // substrings that must appear on stderr
+	}{
+		{name: "plain", args: base, exit: 0, wantOut: []string{"GUPS", "cycles="}},
+		{name: "list", args: []string{"-list"}, exit: 0, wantOut: []string{"GUPS"}},
+		{name: "timeline file", args: append(base, "-timeline", filepath.Join(dir, "t.json")), exit: 0,
+			wantOut: []string{"timeline:", "Perfetto"}},
+		{name: "timeline stdout", args: append(base, "-timeline", "-"), exit: 0,
+			wantOut: []string{`"traceEvents"`}},
+		{name: "spans stdout", args: append(base, "-spans", "-"), exit: 0,
+			wantOut: []string{`"type":"ReadReq"`, "spans:"}},
+		{name: "metrics stdout", args: append(base, "-metrics", "-"), exit: 0,
+			wantOut: []string{"# TYPE", "nc0_flits_total"}},
+		{name: "heatmap", args: append(base, "-heatmap"), exit: 0,
+			wantOut: []string{"congestion heatmap", "hottest links"}},
+		{name: "profile components", args: append(base, "-profile-components"), exit: 0,
+			wantOut: []string{"component profile", "host/tick"}},
+		{name: "timeline unwritable", args: append(base, "-timeline", "/nonexistent-dir/x.json"), exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
+		{name: "spans unwritable", args: append(base, "-spans", "/nonexistent-dir/x.jsonl"), exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
+		{name: "metrics unwritable", args: append(base, "-metrics", "/nonexistent-dir/x.prom"), exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
+		{name: "trace unwritable", args: append(base, "-trace", "/nonexistent-dir/x.jsonl"), exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
+		{name: "timeline needs one workload", args: []string{"-workload", "all", "-scale", "tiny", "-timeline", "-"}, exit: 1,
+			wantErr: []string{"single -workload"}},
+		{name: "heatmap needs one workload", args: []string{"-workload", "all", "-scale", "tiny", "-heatmap"}, exit: 1,
+			wantErr: []string{"single -workload"}},
+		{name: "bad config", args: []string{"-config", "bogus"}, exit: 1, wantErr: []string{"unknown -config"}},
+		{name: "bad scale", args: []string{"-scale", "bogus"}, exit: 1, wantErr: []string{"unknown -scale"}},
+		{name: "bad flag", args: []string{"-no-such-flag"}, exit: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.exit {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, code, tc.exit, out.String(), errb.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, out.String())
+				}
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(errb.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, errb.String())
+				}
+			}
+		})
+	}
+}
+
+// TestTimelineExportSchema is the CLI half of the Chrome Trace
+// acceptance check: the -timeline file must parse as a Trace Event
+// document containing every event class the timeline records.
+func TestTimelineExportSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "GUPS", "-scale", "tiny", "-timeline", path}, &out, &errb); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+	kinds := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		kinds[ph]++
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("event without name: %v", ev)
+		}
+	}
+	// Metadata, execute slices, utilization/occupancy counters, and
+	// balanced async dwell spans.
+	for _, ph := range []string{"M", "X", "C", "b", "e"} {
+		if kinds[ph] == 0 {
+			t.Fatalf("no %q events in export (kinds: %v)", ph, kinds)
+		}
+	}
+	if kinds["b"] != kinds["e"] {
+		t.Fatalf("unbalanced async spans: %d begins, %d ends", kinds["b"], kinds["e"])
+	}
+}

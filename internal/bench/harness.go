@@ -57,6 +57,11 @@ type Options struct {
 	// that executes batches concurrently may invoke it from several
 	// goroutines.
 	Progress func(Progress)
+	// Profile enables the engine self-profiler on every cell, so
+	// measured runs (RunMeasured) can report where host time went per
+	// simulated component. Roughly doubles host cost per tick; simulated
+	// behaviour and report values are unaffected.
+	Profile bool
 
 	// exp is the id of the experiment being run, stamped by Run for
 	// Progress events.

@@ -52,7 +52,7 @@ func ObservedRun(cfg cluster.Config, name string, opt Options) (*cluster.Result,
 	sys := cluster.New(cfg)
 	reg := obs.NewRegistry()
 	rec := obs.NewSpanRecorder(nil)
-	sys.AttachObs(reg, rec)
+	sys.AttachObs(reg, rec, nil)
 	res, err := sys.RunWorkload(spec, opt.Limit)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("bench: %s: %w", name, err)

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,15 @@ type sweepStats struct {
 	cells     atomic.Int64
 	simCycles atomic.Int64
 	wall      atomic.Int64 // nanoseconds
+
+	mu      sync.Mutex
+	profile map[string]*componentAgg // by component name, nil until first add
+}
+
+// componentAgg merges one component's self-profile across cells.
+type componentAgg struct {
+	ticks, busy int64
+	host        time.Duration
 }
 
 func (s *sweepStats) add(cycles sim.Cycle, wall time.Duration) {
@@ -67,6 +77,56 @@ func (s *sweepStats) add(cycles sim.Cycle, wall time.Duration) {
 	s.cells.Add(1)
 	s.simCycles.Add(int64(cycles))
 	s.wall.Add(int64(wall))
+}
+
+// addProfile merges one cell's per-component host-time profile into the
+// run's aggregate. Components are keyed by name, so homonymous
+// components of different cells (every cell has its own "gpu0") fold
+// into one row — the aggregate answers "where does host time go across
+// the whole sweep", not "in which cell".
+func (s *sweepStats) addProfile(costs []sim.ComponentCost) {
+	if s == nil || len(costs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.profile == nil {
+		s.profile = make(map[string]*componentAgg, len(costs))
+	}
+	for _, c := range costs {
+		a := s.profile[c.Name]
+		if a == nil {
+			a = &componentAgg{}
+			s.profile[c.Name] = a
+		}
+		a.ticks += c.Ticks
+		a.busy += c.Busy
+		a.host += c.Host
+	}
+}
+
+// snapshotProfile returns the merged profile sorted by host time
+// descending (ties by name), or nil when profiling was off.
+func (s *sweepStats) snapshotProfile() []sim.ComponentCost {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.profile) == 0 {
+		return nil
+	}
+	out := make([]sim.ComponentCost, 0, len(s.profile))
+	for name, a := range s.profile {
+		out = append(out, sim.ComponentCost{Name: name, Ticks: a.ticks, Busy: a.busy, Host: a.host})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host > out[j].Host
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // parallelism resolves the worker count: Options.Parallel, defaulting
@@ -126,14 +186,19 @@ func runSuites(opt Options, cfgs ...cluster.Config) ([]map[string]*cluster.Resul
 					return
 				}
 				ci, name := cellKey(opt, i)
+				cfg := cfgs[ci] // value copy: per-cell tweaks stay local
+				if opt.Profile {
+					cfg.Profile = true
+				}
 				t0 := time.Now()
-				r, err := cluster.RunOne(cfgs[ci], name, opt.Scale, opt.Limit)
+				r, err := cluster.RunOne(cfg, name, opt.Scale, opt.Limit)
 				out[i] = cellOut{res: r, err: err}
 
 				var cycles sim.Cycle
 				var wall time.Duration
 				if r != nil {
 					cycles, wall = r.Cycles, r.Wall
+					opt.stats.addProfile(r.Components)
 				}
 				if wall == 0 {
 					wall = time.Since(t0)

@@ -3,20 +3,24 @@ package cluster
 import (
 	"fmt"
 
+	"netcrafter/internal/flit"
 	"netcrafter/internal/obs"
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/sim"
 )
 
 // obsWireWindow is the window of the per-controller ejected-bytes time
-// series: coarse enough to keep a long run's series small, fine enough
-// to show phase behaviour.
+// series and the timeline's utilization/occupancy tracks: coarse enough
+// to keep a long run's series small, fine enough to show phase
+// behaviour.
 const obsWireWindow sim.Cycle = 1024
 
-// AttachObs wires the whole system into the metrics registry and the
-// span recorder. Either argument may be nil (a nil registry yields nil
-// instruments; a nil recorder leaves packet spans off), so callers can
-// enable metrics and spans independently. Call before running a
-// workload; attaching mid-run only affects what happens afterwards.
+// AttachObs wires the whole system into the metrics registry, the span
+// recorder and the event timeline. Any argument may be nil (a nil
+// registry yields nil instruments; a nil recorder leaves packet spans
+// off; a nil timeline records no events), so callers can enable each
+// independently. Call before running a workload; attaching mid-run only
+// affects what happens afterwards.
 //
 // The registry receives, per GPU, the latency histograms and pull
 // gauges of gpu.GPU.AttachObs; per controller, a residency histogram
@@ -24,7 +28,15 @@ const obsWireWindow sim.Cycle = 1024
 // and pull gauges over the controller's NetStats counters; and per
 // inter-cluster link direction, overall and active-window utilization
 // pull gauges.
-func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder) {
+//
+// The timeline receives per-component execute slices from the engine's
+// tick probe, a windowed utilization track per link direction, an
+// occupancy track per controller cluster queue and per inter-link
+// endpoint buffer, and per-state dwell tracks from every cluster's
+// transaction table. Call Timeline.Finish after the run, then export
+// with WriteTrace / WriteHeatmap / WriteProfile.
+func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder, tl *timeline.Timeline) {
+	s.attachTimeline(tl)
 	for _, g := range s.GPUs {
 		g.AttachObs(reg, spans)
 	}
@@ -51,5 +63,35 @@ func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder) {
 		reg.GaugeFunc(p+"util_b2a", func() float64 { return l.BtoA.Utilization(s.Engine.Now()) })
 		reg.GaugeFunc(p+"active_util_a2b", func() float64 { return l.AtoB.ActiveUtilization() })
 		reg.GaugeFunc(p+"active_util_b2a", func() float64 { return l.BtoA.ActiveUtilization() })
+	}
+}
+
+// attachTimeline wires the event timeline (see AttachObs). A nil
+// timeline detaches everything it would have attached.
+func (s *System) attachTimeline(tl *timeline.Timeline) {
+	tl.AttachEngine(s.Engine)
+	for _, l := range s.Links {
+		l.AtoB.Track = tl.NewUtilTrack(l.AtoB.Name, obsWireWindow, float64(l.ABRate))
+		l.BtoA.Track = tl.NewUtilTrack(l.BtoA.Name, obsWireWindow, float64(l.BARate))
+	}
+	for _, ctl := range s.Controllers {
+		ctl.ObsOccupancy = tl.NewOccupancyTrack(ctl.Name+".queue", obsWireWindow)
+	}
+	probe := func(q *sim.Queue[*flit.Flit], name string) {
+		if tl == nil {
+			q.SetDepthProbe(nil)
+			return
+		}
+		tr := tl.NewOccupancyTrack(name, obsWireWindow)
+		q.SetDepthProbe(func(at sim.Cycle, depth int) {
+			tr.Observe(at, float64(depth))
+		})
+	}
+	for i, l := range s.InterLinks {
+		probe(l.A.In, fmt.Sprintf("inter%d.a.in", i))
+		probe(l.B.In, fmt.Sprintf("inter%d.b.in", i))
+	}
+	for _, tb := range s.Tables {
+		tb.SetTimeline(tl)
 	}
 }

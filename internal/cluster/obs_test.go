@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"netcrafter/internal/obs"
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/workload"
 )
 
@@ -17,7 +20,7 @@ func TestSpansTileEndToEnd(t *testing.T) {
 	sys := New(WithNetCrafter())
 	reg := obs.NewRegistry()
 	rec := obs.NewSpanRecorder(&buf)
-	sys.AttachObs(reg, rec)
+	sys.AttachObs(reg, rec, nil)
 
 	spec, err := workload.ByName("GUPS", workload.Tiny())
 	if err != nil {
@@ -84,13 +87,97 @@ func TestSpansTileEndToEnd(t *testing.T) {
 	}
 }
 
-// TestAttachObsNilIsFree verifies a run with observability detached
-// behaves identically (determinism guard for the nil-span hot path).
+// TestTimelineEndToEnd runs a real workload with the timeline attached
+// and checks every event class made it in: engine execute slices,
+// per-link utilization windows, queue occupancy, and transaction state
+// dwells — then that the Chrome trace export parses and the heatmap and
+// profile render.
+func TestTimelineEndToEnd(t *testing.T) {
+	cfg := WithNetCrafter()
+	cfg.Profile = true
+	sys := New(cfg)
+	tl := timeline.New(0)
+	sys.AttachObs(nil, nil, tl)
+
+	spec, err := workload.ByName("GUPS", workload.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunWorkload(spec, testLimit); err != nil {
+		t.Fatal(err)
+	}
+	tl.Finish(sys.Engine.Now())
+
+	if tl.Events() == 0 {
+		t.Fatal("timeline recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	kinds := map[string]int{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		kinds[ev["ph"].(string)]++
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, ph := range []string{"M", "X", "C", "b", "e"} {
+		if kinds[ph] == 0 {
+			t.Fatalf("trace has no %q events (kinds: %v)", ph, kinds)
+		}
+	}
+	if kinds["b"] != kinds["e"] {
+		t.Fatalf("unbalanced async spans: %d begins, %d ends", kinds["b"], kinds["e"])
+	}
+	// A link utilization counter, a controller queue track and a dwell
+	// state must all be present by name.
+	for _, want := range []string{"l.inter:a->b", "nc0.queue", "txn.cluster0.dram"} {
+		if !names[want] {
+			t.Fatalf("trace missing track %q (have: %v)", want, names)
+		}
+	}
+
+	buf.Reset()
+	if err := tl.WriteHeatmap(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "l.inter:a->b") || !strings.Contains(buf.String(), "hottest links") {
+		t.Fatalf("heatmap incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := tl.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "component profile") || !strings.Contains(buf.String(), "nc0") {
+		t.Fatalf("profile table incomplete:\n%s", buf.String())
+	}
+}
+
+// TestAttachObsNilIsFree verifies runs with observability detached,
+// nil-attached, and with the full timeline + profiler attached all
+// behave identically — the determinism guard for every observation
+// path: probes may watch the simulation but never steer it.
 func TestAttachObsNilIsFree(t *testing.T) {
-	run := func(attach bool) *Result {
-		sys := New(WithNetCrafter())
-		if attach {
-			sys.AttachObs(nil, nil)
+	run := func(mode int) *Result {
+		cfg := WithNetCrafter()
+		if mode == 2 {
+			cfg.Profile = true
+		}
+		sys := New(cfg)
+		switch mode {
+		case 1:
+			sys.AttachObs(nil, nil, nil)
+		case 2:
+			sys.AttachObs(nil, nil, timeline.New(0))
 		}
 		spec, err := workload.ByName("GUPS", workload.Tiny())
 		if err != nil {
@@ -102,9 +189,12 @@ func TestAttachObsNilIsFree(t *testing.T) {
 		}
 		return r
 	}
-	a, b := run(false), run(true)
-	if a.Cycles != b.Cycles || a.Net.FlitsTotal.Value() != b.Net.FlitsTotal.Value() {
-		t.Fatalf("nil observability changed the run: %d/%d vs %d/%d cycles/flits",
-			a.Cycles, a.Net.FlitsTotal.Value(), b.Cycles, b.Net.FlitsTotal.Value())
+	a := run(0)
+	for mode := 1; mode <= 2; mode++ {
+		b := run(mode)
+		if a.Cycles != b.Cycles || a.Net.FlitsTotal.Value() != b.Net.FlitsTotal.Value() {
+			t.Fatalf("observability mode %d changed the run: %d/%d vs %d/%d cycles/flits",
+				mode, a.Cycles, a.Net.FlitsTotal.Value(), b.Cycles, b.Net.FlitsTotal.Value())
+		}
 	}
 }

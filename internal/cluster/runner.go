@@ -65,6 +65,12 @@ type Result struct {
 	// RemoteReads/RemoteWrites summed over GPUs.
 	RemoteReads  int64
 	RemoteWrites int64
+
+	// Components is the engine's per-component host-time self-profile,
+	// present only when Config.Profile was set (sorted by host time,
+	// descending). Like Wall, it is measurement metadata: host times
+	// vary run to run and must never feed deterministic report values.
+	Components []sim.ComponentCost
 }
 
 // L1MPKI returns L1 misses per kilo-instruction.
@@ -128,6 +134,7 @@ func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, err
 	}
 	r := s.collect(spec.Name, s.Engine.Now()-start)
 	r.Wall = s.Engine.WallTime() - wallStart
+	r.Components = s.Engine.Profile()
 	return r, nil
 }
 

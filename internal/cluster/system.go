@@ -45,6 +45,11 @@ type Config struct {
 	Placement lasp.Policy
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Profile enables the engine's per-component host-time self-profiler
+	// (sim.Engine.EnableProfile): every Tick is bracketed by host clock
+	// reads, and Result.Components reports where the host time went.
+	// Simulated behavior is unaffected; host cost is roughly 2x.
+	Profile bool
 	// Topo, when non-nil, is the explicit fabric to instantiate: link
 	// bandwidths are taken from the graph (flits/cycle) and a
 	// NetCrafter controller is spliced into every cluster-boundary
@@ -180,6 +185,10 @@ type System struct {
 	// core segment of every boundary link, controller-to-controller or
 	// controller-to-backbone).
 	InterLinks []*network.Link
+	// Links holds every link of the fabric (GPU attachments, intra-
+	// cluster, controller-local segments and the inter-cluster links) in
+	// creation order — the row set of the timeline's congestion heatmap.
+	Links []*network.Link
 	// Switches holds the crossbar switches in graph declaration order.
 	Switches []*network.Switch
 	// Topo is the graph this system was instantiated from.
@@ -240,6 +249,9 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		nClusters: g.NumClusters(),
 		alloc:     &frameAlloc{next: make([]uint64, len(g.Devices))},
 		rng:       sim.NewRand(cfg.Seed),
+	}
+	if cfg.Profile {
+		s.Engine.EnableProfile()
 	}
 	s.Engine.Register("sched", s.Sched)
 	s.PT = vm.NewPageTable(s.alloc)
@@ -331,6 +343,7 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			lbw = localBW[swName]
 		}
 		local := network.NewLink("l."+ctlName, ctl.Local, addPort(sw, portName, far, lbw), lbw, lat)
+		s.Links = append(s.Links, local)
 		s.Engine.Register(local.Name, local)
 		return ctl.Remote
 	}
@@ -363,12 +376,14 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 				ends = [2]*network.Port{p, s.GPUs[gi].RDMA.Port}
 			}
 			link := network.NewAsymLink("l."+dev, ends[0], ends[1], ab, ba, ln.Latency)
+			s.Links = append(s.Links, link)
 			s.Engine.Register(link.Name, link)
 		case !g.Boundary(ln):
 			// Intra-cluster or backbone-internal switch-switch link.
 			pa := addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
 			pb := addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
 			link := network.NewAsymLink("l."+ln.A+"-"+ln.B, pa, pb, ab, ba, ln.Latency)
+			s.Links = append(s.Links, link)
 			s.Engine.Register(link.Name, link)
 		default:
 			// Cluster boundary: controllers guard each clustered
@@ -391,6 +406,7 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			interIdx++
 			link := network.NewAsymLink(name, endA, endB, ab, ba, ln.Latency)
 			s.InterLinks = append(s.InterLinks, link)
+			s.Links = append(s.Links, link)
 			s.Engine.Register(name, link)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"netcrafter/internal/flit"
 	"netcrafter/internal/network"
 	"netcrafter/internal/obs"
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/stats"
 	"netcrafter/internal/trace"
@@ -106,6 +107,10 @@ type Controller struct {
 	// wired by cluster.System.AttachObs and free when nil.
 	ObsCtlLat *obs.Hist
 	ObsWire   *obs.Series
+	// ObsOccupancy, when non-nil, samples the cluster-queue depth into
+	// a timeline occupancy track on every enqueue — the per-queue view
+	// of the congestion heatmap. Wired by cluster.System.AttachObs.
+	ObsOccupancy *timeline.Track
 
 	home      flit.ClusterID
 	parts     []*partition
@@ -287,6 +292,9 @@ func (c *Controller) enqueue(f *flit.Flit, now sim.Cycle) {
 	f.CtlArrivedAt = now
 	f.Pkt.Span.To(obs.StageCtlQueue, now)
 	c.parts[idx].q.Push(f, now)
+	if c.ObsOccupancy != nil {
+		c.ObsOccupancy.Observe(now, float64(c.QueuedFlits()))
+	}
 	c.perDst[f.Pkt.DstCluster]++
 	if f.IsPTW() {
 		c.dataPrioTokens++

@@ -284,9 +284,41 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	return nil
 }
 
+// promName maps a registry name to a valid Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*, per the text exposition format): hierarchy
+// dots, dashes and every other invalid byte become '_', and a name
+// starting with a digit gets a '_' prefix. Names that are already
+// valid pass through unchanged (and unallocated).
 func promName(name string) string {
-	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	clean := name != "" && !promDigit(name[0])
+	for i := 0; clean && i < len(name); i++ {
+		clean = promChar(name[i])
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	if name == "" || promDigit(name[0]) {
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		if promChar(name[i]) {
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
+
+// promChar reports whether c may appear in a Prometheus metric name.
+func promChar(c byte) bool {
+	return c == '_' || c == ':' || promDigit(c) ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func promDigit(c byte) bool { return '0' <= c && c <= '9' }
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

@@ -233,6 +233,49 @@ func TestSeriesWindows(t *testing.T) {
 	}
 }
 
+// TestSeriesWindowRollover pins the bucketing at window boundaries:
+// cycle window-1 is the last cycle of window 0 and cycle window the
+// first of window 1, empty windows between observations are skipped,
+// and a sub-1 window clamps to 1 cycle.
+func TestSeriesWindowRollover(t *testing.T) {
+	s := NewSeries("edge", 100)
+	s.Observe(99, 1)  // last cycle of window 0
+	s.Observe(100, 2) // first cycle of window 1
+	s.Observe(199, 4) // last cycle of window 1
+	s.Observe(500, 8) // window 5: windows 2..4 stay empty and unreported
+	ws := s.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3: %+v", len(ws), ws)
+	}
+	if ws[0].Start != 0 || ws[0].Sum != 1 || ws[0].Count != 1 {
+		t.Errorf("window 0 = %+v, want start 0 sum 1 count 1", ws[0])
+	}
+	if ws[1].Start != 100 || ws[1].Sum != 6 || ws[1].Count != 2 {
+		t.Errorf("window 1 = %+v, want start 100 sum 6 count 2", ws[1])
+	}
+	if ws[2].Start != 500 || ws[2].Sum != 8 || ws[2].Count != 1 {
+		t.Errorf("window 2 = %+v, want start 500 sum 8 count 1", ws[2])
+	}
+
+	// Window 0 clamps to 1: every cycle is its own window.
+	c := NewSeries("clamped", 0)
+	if c.Window() != 1 {
+		t.Fatalf("window 0 clamped to %d, want 1", c.Window())
+	}
+	c.Observe(0, 1)
+	c.Observe(1, 1)
+	if ws := c.Windows(); len(ws) != 2 || ws[1].Start != 1 {
+		t.Fatalf("clamped windows = %+v, want two one-cycle windows", ws)
+	}
+
+	// Nil series: observe and read are no-ops.
+	var n *Series
+	n.Observe(5, 1)
+	if n.Windows() != nil || n.Window() != 0 {
+		t.Fatal("nil series recorded something")
+	}
+}
+
 func TestWritePromSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("net.flits").Add(42)
@@ -268,6 +311,62 @@ func TestWritePromSnapshot(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("snapshot missing hist max: %v", snap)
+	}
+}
+
+// TestWritePromGolden pins the exact exposition-format output: one
+// # TYPE line per metric family, sanitized names (invalid bytes map to
+// '_', a leading digit gets a '_' prefix), quantile-labeled summaries
+// and window-labeled series — the contract a Prometheus scraper sees.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.flits-total").Add(42)
+	r.Gauge("weird name!").Set(0.5)
+	r.GaugeFunc("0starts.with.digit", func() float64 { return 7 })
+	h := r.Hist("ctl.lat")
+	h.Observe(10)
+	h.Observe(20)
+	r.Series("wire", 100).Observe(50, 16)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE net_flits_total counter
+net_flits_total 42
+# TYPE weird_name_ gauge
+weird_name_ 0.5
+# TYPE _0starts_with_digit gauge
+_0starts_with_digit 7
+# TYPE ctl_lat summary
+ctl_lat{quantile="0.5"} 12
+ctl_lat{quantile="0.9"} 20
+ctl_lat{quantile="0.99"} 20
+ctl_lat_max 20
+ctl_lat_sum 30
+ctl_lat_count 2
+# TYPE wire gauge
+wire{window_start="0"} 16
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteProm output drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"net.flits", "net_flits"},
+		{"already_valid:name", "already_valid:name"},
+		{"dash-and.dot", "dash_and_dot"},
+		{"0leading", "_0leading"},
+		{"9", "_9"},
+		{"", "_"},
+		{"sp ace/slash\"quote\nnewline", "sp_ace_slash_quote_newline"},
+		{"ünïcode", "__n__code"}, // sanitized byte-wise
+	}
+	for _, tc := range cases {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }
 

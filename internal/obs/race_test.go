@@ -69,6 +69,55 @@ func TestRegistryIsolation(t *testing.T) {
 	}
 }
 
+// TestGaugeFuncConcurrentSnapshot re-registers pull gauges (last
+// writer wins) while other goroutines snapshot and export the
+// registry, so the function map's lock discipline runs under -race.
+// The churned callbacks bump a counter to prove they are invoked, not
+// skipped, during the replacement storm.
+func TestGaugeFuncConcurrentSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	called := 0
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := float64(g*1000 + i)
+				reg.GaugeFunc("churn.fn", func() float64 {
+					mu.Lock()
+					called++
+					mu.Unlock()
+					return v
+				})
+				reg.GaugeFunc("stable.fn", func() float64 { return 1 })
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, m := range reg.Snapshot() {
+					if m.Name == "stable.fn" && m.Value != 1 {
+						t.Errorf("stable.fn read %v, want 1", m.Value)
+					}
+				}
+				_ = reg.WriteProm(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if called == 0 {
+		t.Fatal("churned gauge function never invoked by Snapshot/WriteProm")
+	}
+}
+
 // TestSpanRecorderConcurrentFinish finishes spans from several
 // goroutines into one recorder while others read the breakdown.
 func TestSpanRecorderConcurrentFinish(t *testing.T) {

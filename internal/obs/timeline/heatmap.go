@@ -1,0 +1,143 @@
+package timeline
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// shades maps a utilization in [0,1] to a terminal cell, darkest last.
+var shades = []rune{' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+func shade(u float64) rune {
+	if u <= 0 {
+		return shades[0]
+	}
+	if u >= 1 {
+		return shades[len(shades)-1]
+	}
+	i := 1 + int(u*float64(len(shades)-2))
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	return shades[i]
+}
+
+// heatRow is one utilization track prepared for rendering.
+type heatRow struct {
+	name string
+	util []float64 // per-window utilization
+	mean float64
+	peak float64
+}
+
+// WriteHeatmap renders the congestion heatmap: one row per
+// link-utilization track, columns spanning the run's cycle range
+// (windows re-binned to at most width columns), cells shaded by
+// utilization, followed by a hottest-links ranking by mean utilization.
+// width <= 0 selects 64 columns. Call Finish first so partial windows
+// are included; a nil or util-track-free timeline writes a note instead.
+func (tl *Timeline) WriteHeatmap(w io.Writer, width int) error {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	if width <= 0 {
+		width = 64
+	}
+	rows, window := tl.heatRows()
+	if len(rows) == 0 {
+		fmt.Fprintln(bw, "heatmap: no utilization tracks recorded (timeline not attached?)")
+		return bw.Flush()
+	}
+	nWin := 0
+	nameW := len("link")
+	for _, r := range rows {
+		if len(r.util) > nWin {
+			nWin = len(r.util)
+		}
+		if len(r.name) > nameW {
+			nameW = len(r.name)
+		}
+	}
+	cols := nWin
+	if cols > width {
+		cols = width
+	}
+	perCol := (nWin + cols - 1) / cols
+
+	fmt.Fprintf(bw, "congestion heatmap: %d links x %d windows of %d cycles (cycles 0..%d, %d cycles/column)\n",
+		len(rows), nWin, window, int64(nWin)*int64(window), perCol*int(window))
+	fmt.Fprintf(bw, "  shade: %s = 0..100%% utilization\n", string(shades))
+	for _, r := range rows {
+		var b strings.Builder
+		for c := 0; c < cols; c++ {
+			lo, hi := c*perCol, (c+1)*perCol
+			if lo >= len(r.util) {
+				b.WriteRune(shades[0])
+				continue
+			}
+			if hi > len(r.util) {
+				hi = len(r.util)
+			}
+			sum := 0.0
+			for _, u := range r.util[lo:hi] {
+				sum += u
+			}
+			b.WriteRune(shade(sum / float64(hi-lo)))
+		}
+		fmt.Fprintf(bw, "  %-*s |%s| mean %5.1f%% peak %5.1f%%\n",
+			nameW, r.name, b.String(), 100*r.mean, 100*r.peak)
+	}
+
+	ranked := append([]heatRow(nil), rows...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].mean != ranked[j].mean {
+			return ranked[i].mean > ranked[j].mean
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	fmt.Fprintf(bw, "hottest links (by mean utilization):\n")
+	top := len(ranked)
+	if top > 10 {
+		top = 10
+	}
+	for i := 0; i < top; i++ {
+		r := ranked[i]
+		fmt.Fprintf(bw, "  %2d. %-*s mean %5.1f%%  peak %5.1f%%\n",
+			i+1, nameW, r.name, 100*r.mean, 100*r.peak)
+	}
+	return bw.Flush()
+}
+
+// heatRows extracts the normalized utilization tracks. All util tracks
+// share the attach-time window size; the first one's window is
+// reported.
+func (tl *Timeline) heatRows() ([]heatRow, int64) {
+	if tl == nil {
+		return nil, 0
+	}
+	var rows []heatRow
+	var window int64
+	for _, t := range tl.tracks {
+		if t.kind != kindWindow || t.capacity <= 0 {
+			continue
+		}
+		if window == 0 {
+			window = int64(t.window)
+		}
+		u := t.Utilization()
+		r := heatRow{name: t.name, util: u}
+		for _, v := range u {
+			r.mean += v
+			if v > r.peak {
+				r.peak = v
+			}
+		}
+		if len(u) > 0 {
+			r.mean /= float64(len(u))
+		}
+		rows = append(rows, r)
+	}
+	return rows, window
+}

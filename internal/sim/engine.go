@@ -164,6 +164,14 @@ type Engine struct {
 	// once on entry and once on exit of each drive call, never in the
 	// per-cycle loop, so the hot path is unaffected.
 	wall time.Duration
+
+	// Observability hooks (see profile.go). observed caches
+	// "probe != nil || profiling" so the hot loop pays one predictable
+	// branch when both are off.
+	probe     TickProbe
+	profiling bool
+	observed  bool
+	costs     []componentCost
 }
 
 // NewEngine returns an engine at cycle 0 with no components.
@@ -299,7 +307,13 @@ func (e *Engine) round() bool {
 
 	busy := false
 	for _, idx := range due {
-		if e.tickers[idx].Tick(e.now) {
+		var b bool
+		if e.observed {
+			b = e.tickObserved(idx)
+		} else {
+			b = e.tickers[idx].Tick(e.now)
+		}
+		if b {
 			busy = true
 		}
 		if h := e.hints[idx]; h != nil {

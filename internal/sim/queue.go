@@ -21,6 +21,9 @@ type Queue[T any] struct {
 	// non-empty queue cannot lower NextReady (FIFO visibility follows
 	// the head), so the consumer is already armed early enough.
 	waker *Waker
+	// probe, when set, observes the depth after every successful push
+	// (timeline occupancy tracks). Unset, it costs one nil check.
+	probe func(at Cycle, depth int)
 }
 
 type queueItem[T any] struct {
@@ -44,6 +47,11 @@ func NewQueue[T any](capacity int, delay Cycle) *Queue[T] {
 // sim.WakerAware by forwarding the engine-provided waker to each of
 // their input queues.
 func (q *Queue[T]) SetWaker(w *Waker) { q.waker = w }
+
+// SetDepthProbe attaches an observer called with the queue depth after
+// every successful push (at the pushed item's visibility cycle). Used
+// by the timeline's occupancy tracks; pass nil to detach.
+func (q *Queue[T]) SetDepthProbe(fn func(at Cycle, depth int)) { q.probe = fn }
 
 // Len returns the number of items in the queue (ready or not).
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
@@ -80,6 +88,9 @@ func (q *Queue[T]) PushAt(v T, readyAt Cycle) bool {
 		q.waker.Wake(readyAt)
 	}
 	q.items = append(q.items, queueItem[T]{v: v, readyAt: readyAt})
+	if q.probe != nil {
+		q.probe(readyAt, q.Len())
+	}
 	return true
 }
 

@@ -1,6 +1,9 @@
 package stats
 
-import "netcrafter/internal/sim"
+import (
+	"netcrafter/internal/obs/timeline"
+	"netcrafter/internal/sim"
+)
 
 // LinkStats tracks the activity of one network link; utilization is
 // busy flit-slots over elapsed capacity, the quantity Fig 4 reports for
@@ -11,10 +14,14 @@ type LinkStats struct {
 	BytesMoved     Counter // occupied (useful) bytes, excludes padding
 	SlotBytesMoved Counter // flit slots x flit size (includes padding)
 	StallCycles    Counter // cycles a ready flit could not move
-	flitsPerCycle  int
-	firstActive    sim.Cycle
-	lastActive     sim.Cycle
-	sawActivity    bool
+	// Track, when non-nil, receives one observation per moved flit and
+	// windows them into the timeline's congestion heatmap. Wired by
+	// cluster.System.AttachObs; nil (the default) is free.
+	Track         *timeline.Track
+	flitsPerCycle int
+	firstActive   sim.Cycle
+	lastActive    sim.Cycle
+	sawActivity   bool
 }
 
 // NewLinkStats creates stats for a link moving up to flitsPerCycle.
@@ -24,6 +31,7 @@ func NewLinkStats(name string, flitsPerCycle int) *LinkStats {
 
 // RecordMove notes one flit crossing the link at the given cycle.
 func (l *LinkStats) RecordMove(now sim.Cycle, occupiedBytes, slotBytes int) {
+	l.Track.Observe(now, 1)
 	l.FlitsMoved.Inc()
 	l.BytesMoved.Add(int64(occupiedBytes))
 	l.SlotBytesMoved.Add(int64(slotBytes))

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/sim"
 )
 
@@ -22,10 +23,31 @@ type Table struct {
 	counts    [numStates]int
 	liveCount int
 	allocated int // transactions ever created; pool high-water mark
+
+	// dwell[s], when non-nil, receives one timeline event per live
+	// transaction leaving state s (keyed by TraceID), so a request's
+	// full CU → TLB → DRAM → RDMA journey can be followed in a trace
+	// viewer. Wired by SetTimeline; all-nil (the default) costs one
+	// array load per state change.
+	dwell [numStates]*timeline.Track
 }
 
 // NewTable returns an empty table.
 func NewTable(name string) *Table { return &Table{Name: name} }
+
+// SetTimeline wires per-state dwell tracks ("txn.<table>.<state>")
+// into tl, after which every state transition of this table's
+// transactions records how long the departing state held the request.
+// A nil timeline detaches the tracks.
+func (tb *Table) SetTimeline(tl *timeline.Timeline) {
+	for s := StateIssued; s < numStates; s++ {
+		if tl == nil {
+			tb.dwell[s] = nil
+		} else {
+			tb.dwell[s] = tl.NewDwellTrack("txn." + tb.Name + "." + s.String())
+		}
+	}
+}
 
 // Acquire takes a transaction from the pool (or grows it), resets it,
 // and enters it into the live set in StateIssued.

@@ -259,6 +259,10 @@ func (t *Transaction) SetState(s State, now sim.Cycle) {
 	if t.table != nil {
 		if t.state != StateFree {
 			t.table.counts[t.state]--
+			if tr := t.table.dwell[t.state]; tr != nil && len(t.hist) > 0 {
+				entered := t.hist[len(t.hist)-1].At
+				tr.Dwell(entered, now-entered, t.TraceID)
+			}
 		}
 		if s != StateFree {
 			t.table.counts[s]++

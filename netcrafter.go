@@ -25,6 +25,7 @@ import (
 	"netcrafter/internal/flit"
 	"netcrafter/internal/gpu"
 	"netcrafter/internal/obs"
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
@@ -215,6 +216,29 @@ type SpanRecord = obs.SpanRecord
 // ReadSpans parses a JSONL span stream (lines of other kinds are
 // skipped, so a mixed trace file works too).
 func ReadSpans(r io.Reader) ([]SpanRecord, error) { return obs.ReadSpans(r) }
+
+// Timeline is the ring-buffered event timeline: per-component engine
+// execute slices, cycle-windowed link utilization and queue occupancy
+// tracks, and per-transaction state dwells. Attach one with
+// System.AttachObs, call Finish after the run, then export with
+// WriteTrace (Chrome Trace Event JSON, viewable in Perfetto /
+// chrome://tracing), WriteHeatmap (terminal congestion heatmap) and
+// WriteProfile (per-component host-time table).
+type Timeline = timeline.Timeline
+
+// NewTimeline creates a timeline; capacity <= 0 selects the default
+// ring size.
+func NewTimeline(capacity int) *Timeline { return timeline.New(capacity) }
+
+// ComponentCost is one component's engine self-profile row (ticks,
+// busy ticks, host time); see Result.Components and Config.Profile.
+type ComponentCost = sim.ComponentCost
+
+// WriteComponentProfile renders a self-profile (e.g. Result.Components
+// from a Config.Profile run) as an aligned host-time table.
+func WriteComponentProfile(w io.Writer, costs []ComponentCost) error {
+	return timeline.WriteProfile(w, costs)
+}
 
 // MetricsReport renders a registry snapshot as a Report table.
 func MetricsReport(reg *MetricsRegistry) *Report { return bench.MetricsReport(reg) }
