@@ -9,10 +9,10 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
 	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small \
-	staticcheck timeline-smoke
+	staticcheck timeline-smoke comm-smoke
 
 ci: fmt vet staticcheck build race fuzz-smoke docs-check bench-micro-smoke \
-	sweep-smoke timeline-smoke
+	sweep-smoke timeline-smoke comm-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -68,6 +68,7 @@ bench-micro-smoke:
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
+	$(GO) test -fuzz=FuzzTraceParse -fuzztime=5s -run='^$$' ./internal/comm
 
 # Every package must carry a package-level doc comment, and the
 # committed architecture DOT must match the current import graph.
@@ -102,7 +103,7 @@ arch-dot:
 	  '  node [shape=box, fontname="Helvetica", fontsize=11];' \
 	  '' \
 	  '  // Layers, foundation at the bottom (edges point at dependencies).' \
-	  '  { rank=same; sim; }' \
+	  '  { rank=same; sim; names; }' \
 	  '  { rank=same; "obs/timeline"; }' \
 	  '  { rank=same; obs; stats; workload; }' \
 	  '  { rank=same; cache; topo; lasp; }' \
@@ -111,6 +112,7 @@ arch-dot:
 	  '  { rank=same; network; dram; trace; }' \
 	  '  { rank=same; vm; core; }' \
 	  '  { rank=same; gpu; }' \
+	  '  { rank=same; comm; }' \
 	  '  { rank=same; cluster; }' \
 	  '  { rank=same; bench; }' \
 	  ''; \
@@ -145,6 +147,20 @@ timeline-smoke:
 		{ echo "timeline-smoke: heatmap missing"; exit 1; }
 	@grep -q 'component profile' /tmp/netcrafter-timeline-smoke.txt || \
 		{ echo "timeline-smoke: component profile missing"; exit 1; }
+
+# Race-instrumented smoke of the communication-program subsystem: a
+# small ring all-reduce and a short open-loop serving run through the
+# shipped binary, checking the bandwidth line and the p999 tail are
+# reported.
+comm-smoke:
+	$(GO) run -race ./cmd/netcrafter-sim -comm ring-allreduce -scale tiny \
+		-config baseline > /tmp/netcrafter-comm-smoke.txt
+	$(GO) run -race ./cmd/netcrafter-sim -comm serve-poisson -scale tiny \
+		-requests 48 >> /tmp/netcrafter-comm-smoke.txt
+	@grep -q 'busbw=' /tmp/netcrafter-comm-smoke.txt || \
+		{ echo "comm-smoke: no bus bandwidth reported"; exit 1; }
+	@grep -q 'p999' /tmp/netcrafter-comm-smoke.txt || \
+		{ echo "comm-smoke: no latency tail reported"; exit 1; }
 
 # The committed perf trajectory: the full small-scale sweep, every
 # experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).

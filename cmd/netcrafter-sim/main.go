@@ -10,6 +10,20 @@
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
 //	               [-timeline FILE] [-heatmap] [-profile-components]
 //	               [-inflight-dump]
+//	               [-comm ring-allreduce] [-comm-bytes N] [-qps N]
+//	               [-requests N] [-comm-export FILE] [-comm-replay FILE]
+//
+// -comm runs a communication program instead of a workload: a
+// collective (ring-allreduce, tree-allreduce, alltoall, pipeline,
+// tensor) or an open-loop serving generator (serve-poisson,
+// serve-burst) whose per-request p50/p99/p999 latency table is
+// printed after the run. "-comm list" lists the programs. -comm-bytes,
+// -qps and -requests override the scale preset's buffer size, offered
+// load and request count. -comm-export writes the generated plan as a
+// JSONL trace ({"t":cycle,"src":gpu,"dst":gpu,"bytes":n,...});
+// -comm-replay executes such a trace instead of generating a plan —
+// replaying an exported trace reproduces the generator's metrics
+// exactly. -metrics, -timeline and -heatmap compose with -comm.
 //
 // -topo replaces the default 4-GPU/2-cluster fabric with a named preset
 // (see -topo-list) or a JSON topology spec file; link bandwidths then
@@ -77,6 +91,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		heat   = fs.Bool("heatmap", false, "print the per-link congestion heatmap after the run")
 		prof   = fs.Bool("profile-components", false, "enable the engine self-profiler and print the per-component host-time table")
 		inFlt  = fs.Bool("inflight-dump", false, "dump the live transaction tables after each run; on a run-limit error, also print the stuck-transaction watchdog report")
+		commF  = fs.String("comm", "", "run a communication program instead of a workload ('list' = list programs)")
+		commB  = fs.Int("comm-bytes", 0, "override the comm buffer size in bytes")
+		qps    = fs.Float64("qps", 0, "override the serving programs' offered load (queries/sec)")
+		reqs   = fs.Int("requests", 0, "override the serving programs' request count")
+		commX  = fs.String("comm-export", "", "write the generated comm plan as a JSONL trace to this file ('-' = stdout)")
+		commR  = fs.String("comm-replay", "", "execute a JSONL comm trace instead of generating a plan")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -145,6 +165,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	sc.Seed = *seed
+
+	if *commF == "list" {
+		fmt.Fprintln(stdout, strings.Join(netcrafter.CommPrograms(), "\n"))
+		return 0
+	}
+	if *commF != "" || *commR != "" {
+		return runCommMode(cfg, commFlags{
+			prog: *commF, scale: *scale, bytes: *commB, qps: *qps,
+			requests: *reqs, seed: *seed, export: *commX, replay: *commR,
+			metrics: *metF, timeline: *tlF, heatmap: *heat,
+		}, stdout, stderr)
+	}
 
 	names := []string{*wl}
 	if *wl == "all" {
@@ -303,6 +335,172 @@ func openOut(path string, stdout io.Writer) (io.Writer, func() error, error) {
 		return nil, nil, err
 	}
 	return f, f.Close, nil
+}
+
+// commFlags bundles the -comm* flag values for runCommMode.
+type commFlags struct {
+	prog, scale       string
+	bytes, requests   int
+	qps               float64
+	seed              uint64
+	export, replay    string
+	metrics, timeline string
+	heatmap           bool
+}
+
+// pickCommScale maps the -scale preset onto a communication scale
+// (medium is the small preset with a 4x buffer and twice the
+// requests).
+func pickCommScale(sel string) (netcrafter.CommScale, error) {
+	switch sel {
+	case "tiny":
+		return netcrafter.CommTiny(), nil
+	case "small":
+		return netcrafter.CommSmall(), nil
+	case "medium":
+		sc := netcrafter.CommSmall()
+		sc.Bytes *= 4
+		sc.Requests *= 2
+		return sc, nil
+	}
+	return netcrafter.CommScale{}, fmt.Errorf("unknown -scale %q", sel)
+}
+
+// runCommMode is the -comm / -comm-replay path: generate or parse a
+// communication plan, optionally export it, run it through the real
+// fabric, and print the makespan line plus — for serving programs —
+// the per-request latency table.
+func runCommMode(cfg netcrafter.Config, cf commFlags, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "netcrafter-sim:", err)
+		return 1
+	}
+	sys, err := netcrafter.BuildSystem(cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	var plan *netcrafter.CommPlan
+	if cf.replay != "" {
+		f, err := os.Open(cf.replay)
+		if err != nil {
+			return fail(err)
+		}
+		plan, err = netcrafter.ParseCommTrace(f)
+		f.Close()
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		sc, err := pickCommScale(cf.scale)
+		if err != nil {
+			return fail(err)
+		}
+		sc.GPUs = len(sys.GPUs)
+		sc.Seed = cf.seed
+		if cf.bytes > 0 {
+			sc.Bytes = cf.bytes
+		}
+		if cf.qps > 0 {
+			sc.QPS = cf.qps
+		}
+		if cf.requests > 0 {
+			sc.Requests = cf.requests
+		}
+		plan, err = netcrafter.CommProgram(cf.prog, sc)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	if cf.export != "" {
+		w, closeW, err := openOut(cf.export, stdout)
+		if err != nil {
+			return fail(err)
+		}
+		if err := netcrafter.WriteCommTrace(w, plan); err != nil {
+			return fail(err)
+		}
+		if err := closeW(); err != nil {
+			return fail(err)
+		}
+		if cf.export != "-" {
+			fmt.Fprintf(stdout, "comm: %d sends exported to %s\n", len(plan.Sends), cf.export)
+		}
+	}
+
+	// Open outputs before simulating, as the workload path does.
+	var reg *netcrafter.MetricsRegistry
+	var metOut io.Writer
+	var closeMet = noClose
+	if cf.metrics != "" {
+		metOut, closeMet, err = openOut(cf.metrics, stdout)
+		if err != nil {
+			return fail(err)
+		}
+		reg = netcrafter.NewMetricsRegistry()
+	}
+	var tl *netcrafter.Timeline
+	var tlOut io.Writer
+	var closeTl = noClose
+	if cf.timeline != "" {
+		tlOut, closeTl, err = openOut(cf.timeline, stdout)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if cf.timeline != "" || cf.heatmap {
+		tl = netcrafter.NewTimeline(0)
+	}
+	if reg != nil || tl != nil {
+		sys.AttachObs(reg, nil, tl)
+	}
+
+	res, err := netcrafter.RunCommPlan(sys, plan, netcrafter.CommOptions{}, 500_000_000)
+	if tl != nil {
+		tl.Finish(sys.Engine.Now())
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(stdout, res.String())
+	if tbl := res.LatencyTable(); tbl != "" {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tbl)
+	}
+
+	if reg != nil {
+		if err := reg.WriteProm(metOut); err != nil {
+			return fail(err)
+		}
+		if err := closeMet(); err != nil {
+			return fail(err)
+		}
+		if cf.metrics != "-" {
+			fmt.Fprintf(stdout, "metrics: snapshot written to %s\n", cf.metrics)
+		}
+	}
+	if tl != nil {
+		if cf.timeline != "" {
+			if err := tl.WriteTrace(tlOut); err != nil {
+				return fail(err)
+			}
+			if err := closeTl(); err != nil {
+				return fail(err)
+			}
+			if cf.timeline != "-" {
+				fmt.Fprintf(stdout, "timeline: %d events written to %s (open in Perfetto / chrome://tracing)\n",
+					tl.Events(), cf.timeline)
+			}
+		}
+		if cf.heatmap {
+			fmt.Fprintln(stdout)
+			if err := tl.WriteHeatmap(stdout, 0); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return 0
 }
 
 func pickConfig(sel string) (netcrafter.Config, error) {

@@ -52,6 +52,20 @@ func TestRunFlagMatrix(t *testing.T) {
 		{name: "bad config", args: []string{"-config", "bogus"}, exit: 1, wantErr: []string{"unknown -config"}},
 		{name: "bad scale", args: []string{"-scale", "bogus"}, exit: 1, wantErr: []string{"unknown -scale"}},
 		{name: "bad flag", args: []string{"-no-such-flag"}, exit: 2},
+		{name: "comm list", args: []string{"-comm", "list"}, exit: 0,
+			wantOut: []string{"ring-allreduce", "serve-poisson"}},
+		{name: "comm collective", args: []string{"-comm", "ring-allreduce", "-scale", "tiny", "-config", "baseline"}, exit: 0,
+			wantOut: []string{"comm ring-allreduce", "busbw="}},
+		{name: "comm serving table", args: []string{"-comm", "serve-burst", "-scale", "tiny", "-requests", "16"}, exit: 0,
+			wantOut: []string{"per-request latency", "p50", "p99", "p999"}},
+		{name: "comm unknown", args: []string{"-comm", "ring-allreduc", "-scale", "tiny"}, exit: 1,
+			wantErr: []string{`did you mean "ring-allreduce"?`}},
+		{name: "comm metrics", args: []string{"-comm", "serve-poisson", "-scale", "tiny", "-metrics", "-"}, exit: 0,
+			wantOut: []string{"comm_request_latency_cycles"}},
+		{name: "comm export unwritable", args: []string{"-comm", "ring-allreduce", "-scale", "tiny", "-comm-export", "/nonexistent-dir/x.jsonl"}, exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
+		{name: "comm replay missing", args: []string{"-comm-replay", "/nonexistent-dir/x.jsonl"}, exit: 1,
+			wantErr: []string{"netcrafter-sim:"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -114,5 +128,44 @@ func TestTimelineExportSchema(t *testing.T) {
 	}
 	if kinds["b"] != kinds["e"] {
 		t.Fatalf("unbalanced async spans: %d begins, %d ends", kinds["b"], kinds["e"])
+	}
+}
+
+// TestCommExportReplayRoundTrip is the CLI half of the replay
+// guarantee: a plan exported with -comm-export and executed with
+// -comm-replay reproduces the generator run's cycle count and
+// per-request latency table exactly.
+func TestCommExportReplayRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "serve.jsonl")
+	var gen, rep bytes.Buffer
+	if code := run([]string{"-comm", "serve-poisson", "-scale", "tiny", "-comm-export", trace}, &gen, &gen); code != 0 {
+		t.Fatalf("generator run failed:\n%s", gen.String())
+	}
+	if code := run([]string{"-comm-replay", trace}, &rep, &rep); code != 0 {
+		t.Fatalf("replay run failed:\n%s", rep.String())
+	}
+	tail := func(s, from string) string {
+		i := strings.Index(s, from)
+		if i < 0 {
+			t.Fatalf("output missing %q:\n%s", from, s)
+		}
+		return s[i:]
+	}
+	// The headline lines differ only in the plan name; the latency
+	// tables must match byte for byte.
+	if g, r := tail(gen.String(), "requests"), tail(rep.String(), "requests"); g != r {
+		t.Errorf("replay latency table differs:\ngenerator:\n%s\nreplay:\n%s", g, r)
+	}
+	cyc := func(s string) string {
+		for _, f := range strings.Fields(s) {
+			if strings.HasPrefix(f, "cycles=") {
+				return f
+			}
+		}
+		t.Fatalf("no cycles= token in:\n%s", s)
+		return ""
+	}
+	if g, r := cyc(gen.String()), cyc(rep.String()); g != r {
+		t.Errorf("replay makespan differs: %s vs %s", g, r)
 	}
 }

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22",
-		"ext-trimwrites", "ext-scaling", "ext-placement", "ext-toposcale",
+		"ext-trimwrites", "ext-scaling", "ext-placement", "ext-toposcale", "ext-collective",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

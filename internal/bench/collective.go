@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/comm"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/workload"
+)
+
+// ext-collective exercises the communication-program subsystem on the
+// baseline fabric: the collective patterns at two message sizes, then
+// the open-loop serving generators across offered loads. Collective
+// rows report achieved bus bandwidth; serving rows add the tail
+// percentiles (p50/p99/p999) that are the headline metric for
+// inference traffic — the far tail is where the non-uniform
+// inter-cluster links bite first.
+
+func init() {
+	register(Experiment{ID: "ext-collective", Title: "Communication programs: collective bandwidth and serving tail latency", Run: extCollective})
+}
+
+// commCell is one (program, scale) simulation of the sweep.
+type commCell struct {
+	label string
+	prog  string
+	sc    comm.Scale
+}
+
+// commScaleFor derives the communication scale from the bench scale:
+// tiny workload scales map to comm.Tiny (smoke tests stay fast),
+// anything larger to comm.Small, with the sweep seed carried over.
+func commScaleFor(opt Options) comm.Scale {
+	sc := comm.Small()
+	if opt.Scale.DataKB <= workload.Tiny().DataKB {
+		sc = comm.Tiny()
+	}
+	if opt.Scale.Seed != 0 {
+		sc.Seed = opt.Scale.Seed
+	}
+	return sc
+}
+
+// commCells expands the sweep matrix: collectives x {1x, 4x} message
+// size, serve-poisson across QPS points, serve-burst at the middle
+// load.
+func commCells(opt Options) []commCell {
+	base := commScaleFor(opt)
+	short := map[string]string{
+		"ring-allreduce": "ring",
+		"tree-allreduce": "tree",
+		"alltoall":       "a2a",
+		"pipeline":       "pipe",
+		"tensor":         "tensor",
+	}
+	var cells []commCell
+	for _, prog := range []string{"ring-allreduce", "tree-allreduce", "alltoall", "pipeline", "tensor"} {
+		for _, mult := range []int{1, 4} {
+			sc := base
+			sc.Bytes = base.Bytes * mult
+			cells = append(cells, commCell{
+				label: fmt.Sprintf("%s/%dK", short[prog], sc.Bytes>>10),
+				prog:  prog,
+				sc:    sc,
+			})
+		}
+	}
+	for _, qps := range []float64{5e5, 1e6, 2e6} {
+		sc := base
+		sc.QPS = qps
+		cells = append(cells, commCell{
+			label: fmt.Sprintf("poisson/%gM", qps/1e6),
+			prog:  "serve-poisson",
+			sc:    sc,
+		})
+	}
+	burst := base
+	burst.QPS = 1e6
+	cells = append(cells, commCell{label: "burst/1M", prog: "serve-burst", sc: burst})
+	return cells
+}
+
+// runCommCells fans the comm cells out across the worker pool, exactly
+// like runSuites fans out workload cells: every cell builds a private
+// system, results return in submission order, all cells run even if
+// one fails, and the error is the first failure in submission order —
+// so any Parallel setting yields a byte-identical report.
+func runCommCells(opt Options, cells []commCell) ([]*comm.Result, error) {
+	type cellOut struct {
+		res *comm.Result
+		err error
+	}
+	n := len(cells)
+	out := make([]cellOut, n)
+	workers := opt.parallelism()
+	if workers > n {
+		workers = n
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				c := cells[i]
+				t0 := time.Now()
+				r, err := cluster.RunCommOne(cluster.Baseline(), c.prog, c.sc, opt.Limit)
+				out[i] = cellOut{res: r, err: err}
+
+				var cycles sim.Cycle
+				var wall time.Duration
+				if r != nil {
+					cycles, wall = r.Cycles, r.Wall
+				}
+				if wall == 0 {
+					wall = time.Since(t0)
+				}
+				opt.stats.add(cycles, wall)
+				if opt.Progress != nil {
+					pmu.Lock()
+					done++
+					opt.Progress(Progress{
+						Experiment: opt.exp,
+						Workload:   c.label,
+						Cell:       done,
+						Cells:      n,
+						SimCycles:  cycles,
+						Wall:       wall,
+						Err:        err,
+					})
+					pmu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range out {
+		if out[i].err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", cells[i].label, out[i].err)
+		}
+	}
+	res := make([]*comm.Result, n)
+	for i := range out {
+		res[i] = out[i].res
+	}
+	return res, nil
+}
+
+// extCollective reports one row per communication cell: makespan,
+// megabytes moved, achieved bus bandwidth, and — for serving cells —
+// the per-request latency tail.
+func extCollective(opt Options) (*Report, error) {
+	rep := &Report{ID: "ext-collective", Title: "Comm programs on the baseline fabric",
+		Columns: []string{"cycles", "mbytes", "gbps", "p50", "p99", "p999"},
+		Notes:   "extension: serving tails stretch with offered load; ring beats tree on bus bandwidth; tensor stays intra-cluster fast"}
+	cells := commCells(opt)
+	rs, err := runCommCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r := rs[i]
+		rep.AddRow(c.label,
+			float64(r.Cycles),
+			float64(r.BytesMoved)/(1<<20),
+			r.BusGBps(),
+			float64(r.P50()),
+			float64(r.P99()),
+			float64(r.P999()))
+	}
+	return rep, nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestExtCollectiveTiny smokes the comm sweep end to end at the tiny
+// scale: every cell completes, collective rows carry bandwidth,
+// serving rows carry an ordered latency tail.
+func TestExtCollectiveTiny(t *testing.T) {
+	rep, err := Run("ext-collective", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(commCells(tinyOpts().withDefaults())) {
+		t.Fatalf("report has %d rows for %d cells", len(rep.Rows), len(commCells(tinyOpts().withDefaults())))
+	}
+	gbps := func(label string) float64 {
+		v, ok := rep.Value(label, "gbps")
+		if !ok {
+			t.Fatalf("no row %q", label)
+		}
+		return v
+	}
+	for _, label := range []string{"ring/32K", "a2a/32K", "tensor/128K"} {
+		if gbps(label) <= 0 {
+			t.Errorf("%s: no bandwidth", label)
+		}
+	}
+	p50, _ := rep.Value("poisson/2M", "p50")
+	p99, _ := rep.Value("poisson/2M", "p99")
+	p999, _ := rep.Value("poisson/2M", "p999")
+	if p50 <= 0 || p50 > p99 || p99 > p999 {
+		t.Errorf("poisson tail out of order: p50=%v p99=%v p999=%v", p50, p99, p999)
+	}
+	if v, _ := rep.Value("ring/32K", "p50"); v != 0 {
+		t.Errorf("collective row reports a request percentile %v", v)
+	}
+}
+
+// TestExtCollectiveParallelDeterminism is the satellite contract: the
+// comm sweep joins the harness's byte-identical-at-any-parallelism
+// guarantee.
+func TestExtCollectiveParallelDeterminism(t *testing.T) {
+	opt := tinyOpts()
+	opt.Parallel = 1
+	serial, err := Run("ext-collective", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallel = 8
+	par, err := Run("ext-collective", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, serial)
+	if got := reportBytes(t, par); got != want {
+		t.Errorf("-parallel 8 report differs from -parallel 1:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}

@@ -36,6 +36,7 @@ const obsWireWindow sim.Cycle = 1024
 // transaction table. Call Timeline.Finish after the run, then export
 // with WriteTrace / WriteHeatmap / WriteProfile.
 func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder, tl *timeline.Timeline) {
+	s.obsReg, s.obsTL = reg, tl
 	s.attachTimeline(tl)
 	for _, g := range s.GPUs {
 		g.AttachObs(reg, spans)

@@ -17,6 +17,8 @@ import (
 	"netcrafter/internal/gpu"
 	"netcrafter/internal/lasp"
 	"netcrafter/internal/network"
+	"netcrafter/internal/obs"
+	"netcrafter/internal/obs/timeline"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
@@ -203,6 +205,13 @@ type System struct {
 	nClusters int
 	alloc     *frameAlloc
 	rng       *sim.Rand
+	// obsReg/obsTL remember the AttachObs arguments so later layers
+	// (the comm runner) can wire their own instruments into the same
+	// sinks; commRuns counts RunComm invocations for unique component
+	// names.
+	obsReg   *obs.Registry
+	obsTL    *timeline.Timeline
+	commRuns int
 }
 
 // graphTopology implements gpu.Topology from the device list of a

@@ -1,0 +1,41 @@
+package comm
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse hammers the JSONL parser: no input may panic it, and
+// any input it accepts must survive an export/re-parse round trip
+// unchanged — the replay-is-lossless invariant under adversarial
+// bytes.
+func FuzzTraceParse(f *testing.F) {
+	f.Add(`{"t":0,"src":0,"dst":1,"bytes":64}`)
+	f.Add(`{"t":12,"src":3,"dst":0,"bytes":4096,"tag":"kv","step":2,"req":0}`)
+	f.Add("# comment\n\n{\"t\":1,\"src\":1,\"dst\":2,\"bytes\":128,\"req\":9}")
+	f.Add(`{"t":-5,"src":0,"dst":1,"bytes":64}`)
+	f.Add(`{"t":0,"src":0,"dst":1,"bytes":64,"extra":true}`)
+	f.Add("nonsense")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParsePlan(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WritePlan(&buf, p); err != nil {
+			t.Fatalf("re-export: %v", err)
+		}
+		q, err := ParsePlan(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of our own export: %v", err)
+		}
+		if !reflect.DeepEqual(p.Sends, q.Sends) || !reflect.DeepEqual(p.Requests, q.Requests) {
+			t.Fatal("round trip changed the plan")
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+// TestServeDeterminism is the satellite property: a fixed seed yields
+// an identical arrival schedule and plan, run after run.
+func TestServeDeterminism(t *testing.T) {
+	for _, name := range []string{"serve-poisson", "serve-burst"} {
+		sc := Scale{GPUs: 4, Requests: 64, QPS: 2e6, Seed: 42}
+		a, err := ByName(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two generations with one seed differ", name)
+		}
+		sc.Seed = 43
+		c, err := ByName(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a.Sends, c.Sends) {
+			t.Errorf("%s: different seeds produced identical plans", name)
+		}
+	}
+}
+
+// TestServeStructure: every request expands into KVBlocks pulls of
+// KVBytes onto a single serving GPU, stamped with its arrival.
+func TestServeStructure(t *testing.T) {
+	sc := Scale{GPUs: 4, Requests: 50, QPS: 1e6, KVBlocks: 3, KVBytes: 2048, Seed: 9}
+	p, err := ByName("serve-poisson", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Requests) != 50 {
+		t.Fatalf("got %d requests, want 50", len(p.Requests))
+	}
+	var prev sim.Cycle
+	for r, q := range p.Requests {
+		if q.Arrival < prev {
+			t.Fatalf("request %d arrives at %d before request %d", r, q.Arrival, r-1)
+		}
+		prev = q.Arrival
+		if q.Bytes != 3*2048 {
+			t.Errorf("request %d moves %d bytes, want %d", r, q.Bytes, 3*2048)
+		}
+	}
+	byReq := map[int]int{}
+	for _, s := range p.Sends {
+		if s.Req < 0 || s.Req >= 50 {
+			t.Fatalf("send has request id %d", s.Req)
+		}
+		if s.Src == s.Dst {
+			t.Errorf("request %d pulls a block from the serving GPU itself", s.Req)
+		}
+		if s.At != p.Requests[s.Req].Arrival {
+			t.Errorf("send for request %d at %d, arrival %d", s.Req, s.At, p.Requests[s.Req].Arrival)
+		}
+		byReq[s.Req] += s.Bytes
+	}
+	for r := 0; r < 50; r++ {
+		if byReq[r] != 3*2048 {
+			t.Errorf("request %d sends total %d bytes, want %d", r, byReq[r], 3*2048)
+		}
+	}
+}
+
+// TestBurstArrivalsClump: within a burst arrivals share one timestamp;
+// across bursts time advances.
+func TestBurstArrivalsClump(t *testing.T) {
+	sc := Scale{Requests: 16, Burst: 4, QPS: 1e5, Seed: 3}
+	at := burstArrivals(sc, sim.NewRand(sc.Seed))
+	for i, v := range at {
+		if head := at[(i/4)*4]; v != head {
+			t.Errorf("arrival %d = %d, burst head = %d", i, v, head)
+		}
+	}
+	if at[4] <= at[3] {
+		t.Errorf("second burst does not advance: %d <= %d", at[4], at[3])
+	}
+}
+
+// TestMeanGapCycles pins the QPS→cycles conversion at the 1 GHz clock.
+func TestMeanGapCycles(t *testing.T) {
+	if got := meanGapCycles(1e6); got != 1000 {
+		t.Errorf("1M QPS gap = %v cycles, want 1000", got)
+	}
+	if got := meanGapCycles(0); got != 1e6 {
+		t.Errorf("zero QPS fallback gap = %v, want 1e6", got)
+	}
+}

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"netcrafter/internal/sim"
+)
+
+// Result is everything one plan execution measured. Request latencies
+// are kept exactly (one value per completed request, sorted) rather
+// than bucketed, because the whole point of the serving workload is
+// the far tail: a log-bucket estimator's 2x error band would swallow
+// the p99-to-p999 gap the experiment exists to show.
+type Result struct {
+	// Plan is the executed plan's name.
+	Plan string
+	// GPUs is the participant count.
+	GPUs int
+	// Sends is the plan's logical transfer count.
+	Sends int
+	// LineWrites is how many line-sized posted writes were issued.
+	LineWrites int64
+	// BytesMoved is the payload total over all transfers.
+	BytesMoved int64
+	// Cycles is the makespan: plan start to the last acknowledgment.
+	Cycles sim.Cycle
+	// Wall is the host time the execution took.
+	Wall time.Duration
+	// Requests counts the plan's tracked requests; Incomplete is how
+	// many had not finished when the run stopped.
+	Requests   int
+	Incomplete int
+	// Latencies holds each completed request's end-to-end latency
+	// (arrival to last acknowledged transfer), sorted ascending.
+	Latencies []sim.Cycle
+}
+
+// BusGBps is the aggregate payload bandwidth of the run: bytes moved
+// per cycle equals GB/s at the 1 GHz clock.
+func (r *Result) BusGBps() float64 {
+	if r.Cycles <= 0 {
+		return 0
+	}
+	return float64(r.BytesMoved) / float64(r.Cycles)
+}
+
+// Percentile returns the exact q-quantile (0 < q <= 1) of the
+// completed-request latencies by the nearest-rank method, or 0 when
+// none completed.
+func (r *Result) Percentile(q float64) sim.Cycle {
+	n := len(r.Latencies)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q*float64(n) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return r.Latencies[rank-1]
+}
+
+// P50, P99 and P999 are the headline tail-latency quantiles.
+func (r *Result) P50() sim.Cycle  { return r.Percentile(0.50) }
+func (r *Result) P99() sim.Cycle  { return r.Percentile(0.99) }
+func (r *Result) P999() sim.Cycle { return r.Percentile(0.999) }
+
+// MeanLatency returns the average completed-request latency.
+func (r *Result) MeanLatency() float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range r.Latencies {
+		sum += float64(l)
+	}
+	return sum / float64(len(r.Latencies))
+}
+
+// MaxLatency returns the worst completed-request latency.
+func (r *Result) MaxLatency() sim.Cycle {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	return r.Latencies[len(r.Latencies)-1]
+}
+
+// String is the one-line run summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("comm %-14s gpus=%d sends=%d lines=%d bytes=%d cycles=%d busbw=%.2fGB/s",
+		r.Plan, r.GPUs, r.Sends, r.LineWrites, r.BytesMoved, r.Cycles, r.BusGBps())
+}
+
+// LatencyTable renders the per-request latency distribution — the
+// serving workload's headline numbers. Empty for plans without
+// requests.
+func (r *Result) LatencyTable() string {
+	if r.Requests == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== per-request latency (cycles): %s ==\n", r.Plan)
+	fmt.Fprintf(&b, "%-10s %d (complete %d, incomplete %d)\n",
+		"requests", r.Requests, len(r.Latencies), r.Incomplete)
+	fmt.Fprintf(&b, "%-10s %d\n", "p50", r.P50())
+	fmt.Fprintf(&b, "%-10s %d\n", "p99", r.P99())
+	fmt.Fprintf(&b, "%-10s %d\n", "p999", r.P999())
+	fmt.Fprintf(&b, "%-10s %d\n", "max", r.MaxLatency())
+	fmt.Fprintf(&b, "%-10s %.1f\n", "mean", r.MeanLatency())
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+// TestPercentileNearestRank pins the exact nearest-rank definition the
+// latency table reports — no interpolation, no bucketing error.
+func TestPercentileNearestRank(t *testing.T) {
+	r := &Result{Requests: 100}
+	for i := 1; i <= 100; i++ {
+		r.Latencies = append(r.Latencies, sim.Cycle(i))
+	}
+	cases := []struct {
+		q    float64
+		want sim.Cycle
+	}{{0.50, 50}, {0.99, 99}, {0.999, 100}, {1.0, 100}, {0.0, 1}}
+	for _, c := range cases {
+		if got := r.Percentile(c.q); got != c.want {
+			t.Errorf("p%v = %d, want %d", c.q, got, c.want)
+		}
+	}
+	empty := &Result{}
+	if empty.Percentile(0.99) != 0 || empty.MeanLatency() != 0 {
+		t.Error("empty result percentiles must be zero")
+	}
+}
+
+// TestLatencyTable: the table carries the tail percentiles, and is
+// absent for collective-only runs.
+func TestLatencyTable(t *testing.T) {
+	r := &Result{Plan: "serve-poisson", Requests: 3, Latencies: []sim.Cycle{10, 20, 400}}
+	tbl := r.LatencyTable()
+	for _, want := range []string{"p50", "p99", "p999", "max", "mean", "serve-poisson"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("latency table missing %q:\n%s", want, tbl)
+		}
+	}
+	if (&Result{Plan: "ring-allreduce"}).LatencyTable() != "" {
+		t.Error("requestless run should have no latency table")
+	}
+}

@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"netcrafter/internal/sim"
+)
+
+// The JSONL trace-replay format: one JSON object per line, one send
+// each —
+//
+//	{"t":1024,"src":0,"dst":2,"bytes":4096,"tag":"kv","req":7}
+//
+// t is the issue cycle (plan-relative), src/dst are participant GPU
+// ids, bytes the transfer size. Optional fields: tag (free label),
+// step (barrier phase; ATLAHS/Eidola-style goal dependencies map onto
+// it), req (request index for latency tracking). Blank lines and lines
+// starting with '#' are skipped, so traces can carry comments. A plan
+// exported with WritePlan and read back with ParsePlan executes and
+// measures identically — replay is lossless.
+
+// traceLine is the JSONL wire schema of one send.
+type traceLine struct {
+	T     int64  `json:"t"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Bytes int    `json:"bytes"`
+	Tag   string `json:"tag,omitempty"`
+	Step  int    `json:"step,omitempty"`
+	// Req is a pointer so request 0 survives the round trip ("absent"
+	// and "zero" must stay distinct).
+	Req *int `json:"req,omitempty"`
+}
+
+// maxTraceGPU bounds participant ids a trace may name, so a corrupt
+// line cannot make the parser build a plan for two billion GPUs.
+const maxTraceGPU = 1 << 20
+
+// WritePlan exports the plan in the JSONL trace format, one send per
+// line in plan order.
+func WritePlan(w io.Writer, p *Plan) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range p.Sends {
+		s := &p.Sends[i]
+		ln := traceLine{
+			T: int64(s.At), Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
+			Tag: s.Tag, Step: s.Step,
+		}
+		if s.Req >= 0 {
+			req := s.Req
+			ln.Req = &req
+		}
+		if err := enc.Encode(&ln); err != nil {
+			return fmt.Errorf("comm: trace write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsePlan reads a JSONL trace into an executable plan. The
+// participant count is the highest GPU id seen plus one; the request
+// table is rebuilt from req-tagged lines (a request's arrival is the
+// earliest timestamp among its sends). Sparse request ids are
+// compacted, preserving id order.
+func ParsePlan(r io.Reader) (*Plan, error) {
+	p := &Plan{Name: "trace"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	reqIDs := []int{} // distinct req ids in order of first appearance
+	reqOf := map[int]int{}
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var ln traceLine
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ln); err != nil {
+			return nil, fmt.Errorf("comm: trace line %d: %w", lineNo, err)
+		}
+		if ln.T < 0 {
+			return nil, fmt.Errorf("comm: trace line %d: negative t", lineNo)
+		}
+		if ln.Src < 0 || ln.Src >= maxTraceGPU || ln.Dst < 0 || ln.Dst >= maxTraceGPU {
+			return nil, fmt.Errorf("comm: trace line %d: gpu id out of range [0,%d)", lineNo, maxTraceGPU)
+		}
+		if ln.Bytes <= 0 {
+			return nil, fmt.Errorf("comm: trace line %d: bytes must be positive", lineNo)
+		}
+		if ln.Step < 0 {
+			return nil, fmt.Errorf("comm: trace line %d: negative step", lineNo)
+		}
+		s := Send{
+			At: sim.Cycle(ln.T), Src: ln.Src, Dst: ln.Dst, Bytes: ln.Bytes,
+			Step: ln.Step, Req: -1, Tag: ln.Tag,
+		}
+		if ln.Req != nil {
+			if *ln.Req < 0 {
+				return nil, fmt.Errorf("comm: trace line %d: negative req", lineNo)
+			}
+			idx, ok := reqOf[*ln.Req]
+			if !ok {
+				idx = len(reqIDs)
+				reqOf[*ln.Req] = idx
+				reqIDs = append(reqIDs, *ln.Req)
+			}
+			s.Req = idx
+		}
+		if s.Src >= p.GPUs {
+			p.GPUs = s.Src + 1
+		}
+		if s.Dst >= p.GPUs {
+			p.GPUs = s.Dst + 1
+		}
+		p.Sends = append(p.Sends, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("comm: trace: %w", err)
+	}
+	if len(reqIDs) > 0 {
+		p.Requests = make([]Request, len(reqIDs))
+	}
+	for i := range p.Requests {
+		p.Requests[i].Arrival = -1
+	}
+	for _, s := range p.Sends {
+		if s.Req < 0 {
+			continue
+		}
+		q := &p.Requests[s.Req]
+		if q.Arrival < 0 || s.At < q.Arrival {
+			q.Arrival = s.At
+		}
+		q.Transfers++
+		q.Bytes += s.Bytes
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,82 @@
+package comm
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTraceRoundTrip: WritePlan→ParsePlan is lossless — sends come
+// back verbatim and the request table is rebuilt to the same shape, so
+// a replayed trace measures exactly like its generator (the execution
+// half of that claim lives in the cluster tests).
+func TestTraceRoundTrip(t *testing.T) {
+	for _, name := range []string{"ring-allreduce", "serve-poisson", "serve-burst"} {
+		orig, err := ByName(name, Scale{GPUs: 4, Requests: 32, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WritePlan(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParsePlan(&buf)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Sends, orig.Sends) {
+			t.Errorf("%s: sends changed across the round trip", name)
+		}
+		if got.GPUs != orig.GPUs {
+			t.Errorf("%s: GPUs %d -> %d", name, orig.GPUs, got.GPUs)
+		}
+		if !reflect.DeepEqual(got.Requests, orig.Requests) {
+			t.Errorf("%s: request table changed: %+v vs %+v", name, got.Requests, orig.Requests)
+		}
+	}
+}
+
+// TestParsePlanComments: blank lines and # comments are skipped.
+func TestParsePlanComments(t *testing.T) {
+	in := `# a comment
+
+{"t":0,"src":0,"dst":1,"bytes":64}
+  # indented comment
+{"t":5,"src":1,"dst":0,"bytes":128,"tag":"kv","req":3}
+`
+	p, err := ParsePlan(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sends) != 2 || p.GPUs != 2 {
+		t.Fatalf("parsed %d sends over %d GPUs, want 2 over 2", len(p.Sends), p.GPUs)
+	}
+	// Sparse request id 3 compacts to 0.
+	if p.Sends[1].Req != 0 || len(p.Requests) != 1 {
+		t.Fatalf("request compaction: send req %d, %d requests", p.Sends[1].Req, len(p.Requests))
+	}
+	if p.Requests[0].Arrival != 5 || p.Requests[0].Bytes != 128 || p.Requests[0].Transfers != 1 {
+		t.Fatalf("rebuilt request %+v", p.Requests[0])
+	}
+}
+
+// TestParsePlanRejects: malformed traces fail with a line number, not
+// a bogus plan.
+func TestParsePlanRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `not json`,
+		"unknown field": `{"t":0,"src":0,"dst":1,"bytes":64,"sz":1}`,
+		"negative t":    `{"t":-1,"src":0,"dst":1,"bytes":64}`,
+		"zero bytes":    `{"t":0,"src":0,"dst":1,"bytes":0}`,
+		"negative src":  `{"t":0,"src":-2,"dst":1,"bytes":64}`,
+		"huge dst":      `{"t":0,"src":0,"dst":9999999999,"bytes":64}`,
+		"negative step": `{"t":0,"src":0,"dst":1,"bytes":64,"step":-1}`,
+		"negative req":  `{"t":0,"src":0,"dst":1,"bytes":64,"req":-7}`,
+	}
+	for what, in := range cases {
+		if _, err := ParsePlan(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}

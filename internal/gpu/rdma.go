@@ -178,7 +178,14 @@ func (r *RDMA) OnComplete(t *txn.Transaction, f txn.Frame, at sim.Cycle) {
 		if r.outstandingWrites < 0 {
 			panic("gpu: WriteRsp without outstanding write")
 		}
-		t.Release()
+		// A WriteRemote-acquired transaction has no frames left and
+		// retires here; a caller-owned one (WriteRemoteTxn) unwinds to
+		// the caller's continuation instead.
+		if t.Depth() > 0 {
+			t.Complete(at)
+		} else {
+			t.Release()
+		}
 	case rdmaRoleServeRead:
 		r.finishServeRead(t, f.Ref.(*flit.Packet), at)
 	case rdmaRoleServeWrite:
@@ -235,6 +242,21 @@ func (r *RDMA) ReadRemote(t *txn.Transaction, now sim.Cycle) {
 // a controller with the write-mask extension enabled can trim the
 // payload.
 func (r *RDMA) WriteRemote(paddr uint64, bytes int, now sim.Cycle) {
+	w := r.table.Acquire(txn.KindWrite, now)
+	w.PAddr, w.Size = paddr, bytes
+	w.OriginGPU = r.gpuID
+	r.WriteRemoteTxn(w, now)
+}
+
+// WriteRemoteTxn posts a write of t.Size bytes at t.PAddr under the
+// caller's transaction. Unlike WriteRemote's fire-and-forget drain,
+// the caller keeps its own continuation frames on t and gets the
+// transaction handed back (Complete) when the WriteRsp arrives —
+// traffic injectors use this to observe per-transfer acknowledgment.
+// A t with no caller frames behaves exactly like WriteRemote: retired
+// here when acknowledged.
+func (r *RDMA) WriteRemoteTxn(t *txn.Transaction, now sim.Cycle) {
+	paddr, bytes := t.PAddr, t.Size
 	home := r.topo.HomeGPU(paddr)
 	if home == r.gpuID {
 		panic("gpu: WriteRemote to self")
@@ -244,13 +266,10 @@ func (r *RDMA) WriteRemote(paddr uint64, bytes int, now sim.Cycle) {
 	p.RequiredBytesHint = bytes
 	p.TrimEligible, p.SectorOffset = trimFields(paddr, bytes, r.cfg.TrimBytes)
 	p.TrimBytes = r.cfg.TrimBytes
-	w := r.table.Acquire(txn.KindWrite, now)
-	w.PAddr, w.Size = paddr, bytes
-	w.OriginGPU = r.gpuID
-	w.Push(r, rdmaRoleWriteDone, 0, nil)
-	w.Span = p.Span
-	w.SetState(txn.StateNet, now)
-	p.Txn = w
+	t.Push(r, rdmaRoleWriteDone, 0, nil)
+	t.Span = p.Span
+	t.SetState(txn.StateNet, now)
+	p.Txn = t
 	r.outstandingWrites++
 	r.send(p, now)
 }

@@ -1,0 +1,84 @@
+// Package names resolves user-supplied registry names (workloads,
+// communication programs, experiments) with helpful failure modes: an
+// unknown name produces an error that lists the valid choices and,
+// when something is plausibly close, a did-you-mean suggestion.
+package names
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unknown builds the error for an unrecognized name: the kind of thing
+// being looked up, what was asked for, the closest valid candidate (if
+// any is close enough to be a plausible typo), and the full sorted set
+// of valid names.
+func Unknown(kind, name string, known []string) error {
+	if s := Closest(name, known); s != "" {
+		return fmt.Errorf("%s: unknown %q (did you mean %q? known: %s)",
+			kind, name, s, strings.Join(known, ", "))
+	}
+	return fmt.Errorf("%s: unknown %q (known: %s)", kind, name, strings.Join(known, ", "))
+}
+
+// Closest returns the candidate with the smallest edit distance to
+// name (case-insensitive), or "" when nothing is close enough — a
+// match is only suggested when at most half of the longer string's
+// characters would have to change, so wildly wrong input gets the
+// plain listing instead of a misleading guess.
+func Closest(name string, candidates []string) string {
+	lower := strings.ToLower(name)
+	best, bestDist := "", 0
+	for _, c := range candidates {
+		d := editDistance(lower, strings.ToLower(c))
+		if best == "" || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	limit := len(lower)
+	if len(best) > limit {
+		limit = len(best)
+	}
+	if best == "" || bestDist*2 > limit {
+		return ""
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two byte strings
+// (names here are ASCII identifiers), two-row dynamic programming.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,69 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClosest(t *testing.T) {
+	known := []string{"GUPS", "SPMV", "ring-allreduce", "alltoall"}
+	cases := []struct {
+		in, want string
+	}{
+		{"GUPSS", "GUPS"},
+		{"gups", "GUPS"},
+		{"spvm", "SPMV"},
+		{"ring-allreduc", "ring-allreduce"},
+		{"ring_allreduce", "ring-allreduce"},
+		{"zzzzzzzzzz", ""}, // nothing plausibly close
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Closest(c.in, known); got != c.want {
+			t.Errorf("Closest(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := Closest("anything", nil); got != "" {
+		t.Errorf("Closest with no candidates = %q, want empty", got)
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	err := Unknown("workload", "GUPSS", []string{"GUPS", "MT", "SPMV"})
+	if err == nil {
+		t.Fatal("Unknown returned nil")
+	}
+	msg := err.Error()
+	for _, want := range []string{`unknown "GUPSS"`, `did you mean "GUPS"?`, "GUPS, MT, SPMV", "workload:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	// No plausible match: plain listing, no guess.
+	err = Unknown("workload", "qqqqqqqq", []string{"GUPS", "MT"})
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("implausible match still suggested: %v", err)
+	}
+	if !strings.Contains(err.Error(), "known: GUPS, MT") {
+		t.Errorf("listing missing: %v", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"gups", "gup", 1},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -10,9 +10,9 @@
 package workload
 
 import (
-	"fmt"
 	"sort"
 
+	"netcrafter/internal/names"
 	"netcrafter/internal/sim"
 )
 
@@ -158,7 +158,9 @@ func Names() []string {
 	}
 }
 
-// ByName instantiates one workload at the given scale.
+// ByName instantiates one workload at the given scale. An unknown name
+// fails with the sorted list of valid workloads and, for plausible
+// typos, a did-you-mean suggestion.
 func ByName(name string, sc Scale) (*Spec, error) {
 	b, ok := builders[name]
 	if !ok {
@@ -167,7 +169,7 @@ func ByName(name string, sc Scale) (*Spec, error) {
 			known = append(known, k)
 		}
 		sort.Strings(known)
-		return nil, fmt.Errorf("workload: unknown %q (known: %v)", name, known)
+		return nil, names.Unknown("workload", name, known)
 	}
 	return b(sc), nil
 }

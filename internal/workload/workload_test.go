@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"netcrafter/internal/sim"
@@ -29,6 +30,22 @@ func TestAllFifteenWorkloadsBuild(t *testing.T) {
 func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("NOPE", Tiny()); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+	// The error must list every valid name so the user can correct the
+	// invocation without consulting the docs.
+	_, err := ByName("GUPSS", Tiny())
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	msg := err.Error()
+	for _, n := range Names() {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not list workload %s", msg, n)
+		}
+	}
+	// A plausible typo also gets a did-you-mean suggestion.
+	if !strings.Contains(msg, `did you mean "GUPS"?`) {
+		t.Errorf("error %q missing suggestion for GUPSS", msg)
 	}
 }
 

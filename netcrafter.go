@@ -21,6 +21,7 @@ import (
 
 	"netcrafter/internal/bench"
 	"netcrafter/internal/cluster"
+	"netcrafter/internal/comm"
 	"netcrafter/internal/core"
 	"netcrafter/internal/flit"
 	"netcrafter/internal/gpu"
@@ -181,6 +182,58 @@ func RunOnSystem(sys *System, name string, sc Scale, limit Cycle) (*Result, erro
 	}
 	return sys.RunWorkload(spec, limit)
 }
+
+// CommPlan is a timed communication program: per-GPU send sequences
+// generated by a collective or serving builder (CommProgram), or
+// parsed from a JSONL trace (ParseCommTrace). Run one with RunComm.
+type CommPlan = comm.Plan
+
+// CommScale parameterizes communication-program generation: message
+// and chunk sizes, participant count, microbatches and groups, and
+// the open-loop arrival process (QPS, burst, request shape).
+type CommScale = comm.Scale
+
+// CommOptions tunes plan execution (injection rate, write window).
+type CommOptions = comm.Options
+
+// CommResult is what a communication run measured: makespan, bytes
+// and line writes, bus bandwidth, and — for serving programs — exact
+// per-request latency percentiles (P50/P99/P999).
+type CommResult = comm.Result
+
+// CommTiny and CommSmall are the communication scale presets.
+func CommTiny() CommScale  { return comm.Tiny() }
+func CommSmall() CommScale { return comm.Small() }
+
+// CommPrograms lists the registered communication program generators
+// (collectives and open-loop serving workloads), sorted.
+func CommPrograms() []string { return comm.Names() }
+
+// CommProgram generates the named communication program at the given
+// scale.
+func CommProgram(name string, sc CommScale) (*CommPlan, error) { return comm.ByName(name, sc) }
+
+// RunComm builds a fresh system with cfg and executes the named
+// communication program over the real RDMA/fabric path (CommScale.GPUs
+// 0 means every GPU participates).
+func RunComm(cfg Config, name string, sc CommScale, limit Cycle) (*CommResult, error) {
+	return cluster.RunCommOne(cfg, name, sc, limit)
+}
+
+// RunCommPlan executes an explicit plan (generated or trace-parsed) on
+// an already-built system; repeated calls run back to back on the
+// system's clock.
+func RunCommPlan(sys *System, p *CommPlan, opt CommOptions, limit Cycle) (*CommResult, error) {
+	return sys.RunComm(p, opt, limit)
+}
+
+// WriteCommTrace exports a plan in the JSONL trace format
+// ({"t":cycle,"src":gpu,"dst":gpu,"bytes":n,...}, one send per line).
+func WriteCommTrace(w io.Writer, p *CommPlan) error { return comm.WritePlan(w, p) }
+
+// ParseCommTrace reads a JSONL trace into an executable plan; a plan
+// exported with WriteCommTrace replays to identical metrics.
+func ParseCommTrace(r io.Reader) (*CommPlan, error) { return comm.ParsePlan(r) }
 
 // TraceRecorder streams wire-level controller events as JSON lines;
 // attach one with System.AttachTrace.
