@@ -9,10 +9,10 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
 	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small \
-	staticcheck timeline-smoke comm-smoke
+	staticcheck timeline-smoke comm-smoke flow-smoke
 
 ci: fmt vet staticcheck build race fuzz-smoke docs-check bench-micro-smoke \
-	sweep-smoke timeline-smoke comm-smoke
+	sweep-smoke timeline-smoke comm-smoke flow-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -113,6 +113,7 @@ arch-dot:
 	  '  { rank=same; vm; core; }' \
 	  '  { rank=same; gpu; }' \
 	  '  { rank=same; comm; }' \
+	  '  { rank=same; flow; }' \
 	  '  { rank=same; cluster; }' \
 	  '  { rank=same; bench; }' \
 	  ''; \
@@ -161,6 +162,25 @@ comm-smoke:
 		{ echo "comm-smoke: no bus bandwidth reported"; exit 1; }
 	@grep -q 'p999' /tmp/netcrafter-comm-smoke.txt || \
 		{ echo "comm-smoke: no latency tail reported"; exit 1; }
+
+# End-to-end smoke of the analytic flow backend: a collective through
+# the shipped sim binary, the flow-backend bench sweep writing a
+# manifest tagged "backend": "flow", and the fidelity gate refusing a
+# cycle-only experiment under -backend flow.
+flow-smoke:
+	$(GO) run ./cmd/netcrafter-sim -backend flow -comm ring-allreduce \
+		-scale tiny > /tmp/netcrafter-flow-smoke.txt
+	@grep -q 'busbw=' /tmp/netcrafter-flow-smoke.txt || \
+		{ echo "flow-smoke: no bus bandwidth reported"; exit 1; }
+	$(GO) run -race ./cmd/netcrafter-bench -backend flow -exp ext-collective \
+		-scale tiny -parallel 8 -manifest /tmp/netcrafter-flow-smoke.json -q > /dev/null
+	@grep -q '"backend": "flow"' /tmp/netcrafter-flow-smoke.json || \
+		{ echo "flow-smoke: manifest not tagged with the flow backend"; exit 1; }
+	@if $(GO) run ./cmd/netcrafter-bench -backend flow -exp fig3 -scale tiny \
+		-manifest off -q >/dev/null 2>/tmp/netcrafter-flow-smoke.err; then \
+		echo "flow-smoke: fidelity gate let fig3 run on the flow backend"; exit 1; \
+	else grep -q 'cycle backend' /tmp/netcrafter-flow-smoke.err || \
+		{ echo "flow-smoke: gate error does not name the cycle backend"; exit 1; }; fi
 
 # The committed perf trajectory: the full small-scale sweep, every
 # experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).

@@ -13,7 +13,14 @@
 //	netcrafter-bench -exp fig14                          # one artifact
 //	netcrafter-bench -exp all -scale small -parallel 8   # everything
 //	netcrafter-bench -exp all -scale small -resume       # finish an interrupted sweep
+//	netcrafter-bench -backend flow -exp ext-collective   # analytic fast path
 //	netcrafter-bench -list
+//
+// -backend flow runs the sweep on the analytic flow backend
+// (communication-plan experiments only; -exp all narrows to them) and
+// writes BENCH_flow_<scale>.json so fast-path trajectories never
+// clobber cycle-fidelity ones. The ext-calibrate experiment runs each
+// comm cell on both backends and reports the flow backend's error.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (table1..3, fig3..fig22) or 'all'")
 		scale    = flag.String("scale", "small", "tiny | small | medium")
+		backendF = flag.String("backend", "cycle", "simulation backend: cycle | flow (flow runs only the comm-plan experiments; see -list)")
 		wls      = flag.String("workloads", "", "comma-separated workload subset (default: all 15)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		format   = flag.String("format", "text", "text | json | csv | chart")
@@ -71,12 +79,17 @@ func main() {
 		}()
 	}
 
+	backend, err := netcrafter.ParseBackend(*backendF)
+	if err != nil {
+		fail(err)
+	}
+
 	if *list {
-		fmt.Println(strings.Join(netcrafter.Experiments(), "\n"))
+		fmt.Println(strings.Join(netcrafter.ExperimentsFor(backend), "\n"))
 		return
 	}
 
-	opt := netcrafter.ExperimentOptions{Parallel: *parallel, Profile: *profile}
+	opt := netcrafter.ExperimentOptions{Parallel: *parallel, Profile: *profile, Backend: backend}
 	switch *scale {
 	case "tiny":
 		opt.Scale = netcrafter.Tiny()
@@ -96,10 +109,10 @@ func main() {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = netcrafter.Experiments()
+		ids = netcrafter.ExperimentsFor(backend)
 	}
 
-	path := manifestPath(*manifest, *exp, *scale)
+	path := manifestPath(*manifest, *exp, *scale, backend)
 	so := netcrafter.SweepOptions{Options: opt, ScaleName: *scale}
 	if *resume {
 		if path == "" {
@@ -158,16 +171,23 @@ func main() {
 // manifestPath resolves the -manifest flag: explicit path, "off", or
 // the automatic name — BENCH_<scale>.json for full sweeps, a name
 // carrying the experiment id for partial ones so a single-figure run
-// never overwrites the full sweep's trajectory.
-func manifestPath(flagVal, exp, scale string) string {
+// never overwrites the full sweep's trajectory. Flow-backend sweeps
+// get their own BENCH_flow_* names for the same reason: a fast flow
+// run must never clobber the cycle-fidelity trajectory (resume would
+// also refuse the mix, but naming keeps them apart in the tree).
+func manifestPath(flagVal, exp, scale string, backend netcrafter.Backend) string {
+	tag := ""
+	if backend.Norm() == netcrafter.BackendFlow {
+		tag = "flow_"
+	}
 	switch flagVal {
 	case "off":
 		return ""
 	case "auto":
 		if exp == "all" {
-			return fmt.Sprintf("BENCH_%s.json", scale)
+			return fmt.Sprintf("BENCH_%s%s.json", tag, scale)
 		}
-		return fmt.Sprintf("BENCH_%s_%s.json", exp, scale)
+		return fmt.Sprintf("BENCH_%s%s_%s.json", tag, exp, scale)
 	default:
 		return flagVal
 	}

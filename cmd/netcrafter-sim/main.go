@@ -12,6 +12,16 @@
 //	               [-inflight-dump]
 //	               [-comm ring-allreduce] [-comm-bytes N] [-qps N]
 //	               [-requests N] [-comm-export FILE] [-comm-replay FILE]
+//	               [-backend cycle|flow]
+//
+// -backend selects the simulation fidelity. The default cycle backend
+// ticks every flit through the real switches and controllers; the
+// flow backend solves communication plans analytically as max-min
+// fair fluid flows (DESIGN.md section 2.14) — orders of magnitude
+// faster, but it models plans only, so it requires -comm or
+// -comm-replay and rejects workloads and the ticked-system
+// observability flags (-metrics, -timeline, -heatmap). See the
+// ext-calibrate bench experiment for its measured error.
 //
 // -comm runs a communication program instead of a workload: a
 // collective (ring-allreduce, tree-allreduce, alltoall, pipeline,
@@ -73,6 +83,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	var (
 		wl     = fs.String("workload", "GUPS", "workload name or 'all' (see -list)")
 		cfgSel = fs.String("config", "netcrafter", "baseline | ideal | netcrafter | sector")
+		backF  = fs.String("backend", "cycle", "simulation backend: cycle | flow (flow needs -comm; analytic, no per-flit fidelity)")
 		scale  = fs.String("scale", "small", "tiny | small | medium")
 		inter  = fs.Int("inter", 0, "override inter-cluster GB/s (ignored with -topo)")
 		intra  = fs.Int("intra", 0, "override intra-cluster GB/s (ignored with -topo)")
@@ -115,10 +126,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	backend, err := netcrafter.ParseBackend(*backF)
+	if err != nil {
+		return fail(err)
+	}
+
 	cfg, err := pickConfig(*cfgSel)
 	if err != nil {
 		return fail(err)
 	}
+	cfg.Backend = backend
 	if *topoF != "" {
 		g, err := netcrafter.LoadTopology(*topoF)
 		if err != nil {
@@ -176,6 +193,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			requests: *reqs, seed: *seed, export: *commX, replay: *commR,
 			metrics: *metF, timeline: *tlF, heatmap: *heat,
 		}, stdout, stderr)
+	}
+
+	if backend.Norm() != netcrafter.BackendCycle {
+		return fail(fmt.Errorf("-backend %s runs communication programs only (use -comm); workloads need the cycle backend", backend))
 	}
 
 	names := []string{*wl}
@@ -367,17 +388,37 @@ func pickCommScale(sel string) (netcrafter.CommScale, error) {
 }
 
 // runCommMode is the -comm / -comm-replay path: generate or parse a
-// communication plan, optionally export it, run it through the real
-// fabric, and print the makespan line plus — for serving programs —
+// communication plan, optionally export it, run it through the
+// selected backend — the real ticked fabric, or the analytic flow
+// solver — and print the makespan line plus, for serving programs,
 // the per-request latency table.
 func runCommMode(cfg netcrafter.Config, cf commFlags, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "netcrafter-sim:", err)
 		return 1
 	}
-	sys, err := netcrafter.BuildSystem(cfg)
-	if err != nil {
-		return fail(err)
+	flowBackend := cfg.Backend.Norm() == netcrafter.BackendFlow
+	if flowBackend && (cf.metrics != "" || cf.timeline != "" || cf.heatmap) {
+		return fail(fmt.Errorf("-metrics, -timeline and -heatmap instrument the ticked system; they need -backend cycle"))
+	}
+
+	// The flow backend never builds a system — it only needs the GPU
+	// count off the resolved topology to size generated plans.
+	var err error
+	var sys *netcrafter.System
+	var nGPUs int
+	if flowBackend {
+		g, gerr := cfg.Graph()
+		if gerr != nil {
+			return fail(gerr)
+		}
+		nGPUs = len(g.Devices)
+	} else {
+		sys, err = netcrafter.BuildSystem(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		nGPUs = len(sys.GPUs)
 	}
 
 	var plan *netcrafter.CommPlan
@@ -396,7 +437,7 @@ func runCommMode(cfg netcrafter.Config, cf commFlags, stdout, stderr io.Writer) 
 		if err != nil {
 			return fail(err)
 		}
-		sc.GPUs = len(sys.GPUs)
+		sc.GPUs = nGPUs
 		sc.Seed = cf.seed
 		if cf.bytes > 0 {
 			sc.Bytes = cf.bytes
@@ -456,9 +497,14 @@ func runCommMode(cfg netcrafter.Config, cf commFlags, stdout, stderr io.Writer) 
 		sys.AttachObs(reg, nil, tl)
 	}
 
-	res, err := netcrafter.RunCommPlan(sys, plan, netcrafter.CommOptions{}, 500_000_000)
-	if tl != nil {
-		tl.Finish(sys.Engine.Now())
+	var res *netcrafter.CommResult
+	if flowBackend {
+		res, err = netcrafter.RunCommPlanWith(cfg, plan, netcrafter.CommOptions{}, 500_000_000)
+	} else {
+		res, err = netcrafter.RunCommPlan(sys, plan, netcrafter.CommOptions{}, 500_000_000)
+		if tl != nil {
+			tl.Finish(sys.Engine.Now())
+		}
 	}
 	if err != nil {
 		return fail(err)

@@ -66,6 +66,17 @@ func TestRunFlagMatrix(t *testing.T) {
 			wantErr: []string{"netcrafter-sim:"}},
 		{name: "comm replay missing", args: []string{"-comm-replay", "/nonexistent-dir/x.jsonl"}, exit: 1,
 			wantErr: []string{"netcrafter-sim:"}},
+		{name: "comm flow backend", args: []string{"-backend", "flow", "-comm", "ring-allreduce", "-scale", "tiny"}, exit: 0,
+			wantOut: []string{"comm ring-allreduce", "busbw="}},
+		{name: "comm flow serving table", args: []string{"-backend", "flow", "-comm", "serve-burst", "-scale", "tiny", "-requests", "16"}, exit: 0,
+			wantOut: []string{"per-request latency", "p99"}},
+		{name: "flow workload rejected", args: []string{"-backend", "flow", "-workload", "GUPS", "-scale", "tiny"}, exit: 1,
+			wantErr: []string{"cycle backend"}},
+		{name: "flow metrics rejected", args: []string{"-backend", "flow", "-comm", "serve-poisson", "-scale", "tiny", "-metrics", "-"}, exit: 1,
+			wantErr: []string{"-backend cycle"}},
+		{name: "flow heatmap rejected", args: []string{"-backend", "flow", "-comm", "ring-allreduce", "-scale", "tiny", "-heatmap"}, exit: 1,
+			wantErr: []string{"-backend cycle"}},
+		{name: "bad backend", args: []string{"-backend", "bogus"}, exit: 1, wantErr: []string{"unknown backend"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

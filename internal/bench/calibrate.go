@@ -1,0 +1,67 @@
+package bench
+
+import "fmt"
+
+// ext-calibrate measures how well the analytic flow backend tracks the
+// cycle engine: every ext-collective cell runs on both backends and
+// the report pairs them up, quoting makespan and tail latency from
+// each plus the flow backend's relative error. This is the calibration
+// table behind the fidelity-selection guide (README, DESIGN.md 2.14):
+// it is the evidence for when "flow is close enough" — and the
+// regression alarm if a flow-model change drifts away from the engine.
+//
+// The experiment itself is FidelityCycle: it needs the cycle engine
+// for the reference column, so it cannot run under -backend flow.
+
+func init() {
+	register(Experiment{ID: "ext-calibrate", Title: "Flow-backend calibration: flow vs cycle on the comm programs", Fidelity: FidelityCycle, Run: extCalibrate})
+}
+
+// pctErr returns the relative error of got vs ref in percent, signed
+// (positive = flow overestimates), 0 when the reference is 0.
+func pctErr(got, ref float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (got - ref) / ref
+}
+
+// extCalibrate runs the ext-collective cell matrix twice — once per
+// backend — through the same worker pool, then reports one row per
+// cell with both backends' makespan and p99 and the flow error.
+func extCalibrate(opt Options) (*Report, error) {
+	rep := &Report{ID: "ext-calibrate", Title: "Flow vs cycle backend on the comm programs",
+		Columns: []string{"cyc-cycles", "flow-cycles", "cyc-err%", "cyc-p99", "flow-p99", "p99-err%"},
+		Notes:   "calibration: bandwidth-bound collectives land within ~13-23% (flow lower-bounds the engine), serving makespans within a few percent; latency-bound intra-cluster tensor diverges ~72% and serving p99 tails drift up to ~50% — the per-flit queueing and issue effects the fluid model drops"}
+	base := commCells(opt)
+	cells := make([]commCell, 0, 2*len(base))
+	for _, c := range base {
+		c.backend = "cycle"
+		c.label += "/cycle"
+		cells = append(cells, c)
+	}
+	for _, c := range base {
+		c.backend = "flow"
+		c.label += "/flow"
+		cells = append(cells, c)
+	}
+	rs, err := runCommCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range base {
+		cyc, flw := rs[i], rs[i+len(base)]
+		if cyc.BytesMoved != flw.BytesMoved {
+			return nil, fmt.Errorf("bench: ext-calibrate %s: backends moved different bytes (cycle %d, flow %d)",
+				c.label, cyc.BytesMoved, flw.BytesMoved)
+		}
+		rep.AddRow(c.label,
+			float64(cyc.Cycles),
+			float64(flw.Cycles),
+			pctErr(float64(flw.Cycles), float64(cyc.Cycles)),
+			float64(cyc.P99()),
+			float64(flw.P99()),
+			pctErr(float64(flw.P99()), float64(cyc.P99())))
+	}
+	return rep, nil
+}

@@ -21,14 +21,15 @@ import (
 // inter-cluster links bite first.
 
 func init() {
-	register(Experiment{ID: "ext-collective", Title: "Communication programs: collective bandwidth and serving tail latency", Run: extCollective})
+	register(Experiment{ID: "ext-collective", Title: "Communication programs: collective bandwidth and serving tail latency", Fidelity: FidelityAny, Run: extCollective})
 }
 
-// commCell is one (program, scale) simulation of the sweep.
+// commCell is one (program, scale, backend) simulation of the sweep.
 type commCell struct {
-	label string
-	prog  string
-	sc    comm.Scale
+	label   string
+	prog    string
+	sc      comm.Scale
+	backend cluster.Backend
 }
 
 // commScaleFor derives the communication scale from the bench scale:
@@ -117,7 +118,9 @@ func runCommCells(opt Options, cells []commCell) ([]*comm.Result, error) {
 				}
 				c := cells[i]
 				t0 := time.Now()
-				r, err := cluster.RunCommOne(cluster.Baseline(), c.prog, c.sc, opt.Limit)
+				cfg := cluster.Baseline()
+				cfg.Backend = c.backend
+				r, err := cluster.RunCommOne(cfg, c.prog, c.sc, opt.Limit)
 				out[i] = cellOut{res: r, err: err}
 
 				var cycles sim.Cycle
@@ -167,6 +170,9 @@ func extCollective(opt Options) (*Report, error) {
 		Columns: []string{"cycles", "mbytes", "gbps", "p50", "p99", "p999"},
 		Notes:   "extension: serving tails stretch with offered load; ring beats tree on bus bandwidth; tensor stays intra-cluster fast"}
 	cells := commCells(opt)
+	for i := range cells {
+		cells[i].backend = opt.Backend
+	}
 	rs, err := runCommCells(opt, cells)
 	if err != nil {
 		return nil, err

@@ -51,23 +51,23 @@ func withFlitSize(c cluster.Config, bytes int) cluster.Config {
 }
 
 func init() {
-	register(Experiment{ID: "fig3", Title: "Non-uniform baseline vs ideal all-high-bandwidth speedup", Run: fig3})
-	register(Experiment{ID: "fig4", Title: "Inter-cluster network utilization, non-uniform vs ideal", Run: fig4})
-	register(Experiment{ID: "fig5", Title: "Inter-cluster memory latency, ideal normalized to non-uniform", Run: fig5})
-	register(Experiment{ID: "fig6", Title: "Flit occupancy distribution on the inter-cluster network", Run: fig6})
-	register(Experiment{ID: "fig7", Title: "Inter-cluster read requests by bytes needed from the line", Run: fig7})
-	register(Experiment{ID: "fig8", Title: "Prioritizing PTW-related vs equal-count data accesses", Run: fig8})
-	register(Experiment{ID: "fig9", Title: "PTW vs data share of inter-cluster traffic", Run: fig9})
-	register(Experiment{ID: "fig12", Title: "Fraction of flits stitched, with and without Flit Pooling", Run: fig12})
-	register(Experiment{ID: "fig14", Title: "Overall NetCrafter speedup and sector-cache comparison", Run: fig14})
-	register(Experiment{ID: "fig15", Title: "Inter-cluster memory latency, NetCrafter vs baseline", Run: fig15})
-	register(Experiment{ID: "fig16", Title: "L1 MPKI: NetCrafter trimming vs 16B sector cache", Run: fig16})
-	register(Experiment{ID: "fig17", Title: "GEMM L1 MPKI vs trimming/sector granularity 4/8/16B", Run: fig17})
-	register(Experiment{ID: "fig18", Title: "Stitching with plain Flit Pooling, 32-128 cycle windows", Run: fig18})
-	register(Experiment{ID: "fig19", Title: "Stitching with Selective Flit Pooling, 32-128 cycle windows", Run: fig19})
-	register(Experiment{ID: "fig20", Title: "Inter-cluster byte reduction from stitching and pooling", Run: fig20})
-	register(Experiment{ID: "fig21", Title: "Stitching + Selective Pooling at 8B vs 16B flit size", Run: fig21})
-	register(Experiment{ID: "fig22", Title: "NetCrafter speedup across bandwidth ratios and values", Run: fig22})
+	register(Experiment{ID: "fig3", Title: "Non-uniform baseline vs ideal all-high-bandwidth speedup", Fidelity: FidelityCycle, Run: fig3})
+	register(Experiment{ID: "fig4", Title: "Inter-cluster network utilization, non-uniform vs ideal", Fidelity: FidelityCycle, Run: fig4})
+	register(Experiment{ID: "fig5", Title: "Inter-cluster memory latency, ideal normalized to non-uniform", Fidelity: FidelityCycle, Run: fig5})
+	register(Experiment{ID: "fig6", Title: "Flit occupancy distribution on the inter-cluster network", Fidelity: FidelityCycle, Run: fig6})
+	register(Experiment{ID: "fig7", Title: "Inter-cluster read requests by bytes needed from the line", Fidelity: FidelityCycle, Run: fig7})
+	register(Experiment{ID: "fig8", Title: "Prioritizing PTW-related vs equal-count data accesses", Fidelity: FidelityCycle, Run: fig8})
+	register(Experiment{ID: "fig9", Title: "PTW vs data share of inter-cluster traffic", Fidelity: FidelityCycle, Run: fig9})
+	register(Experiment{ID: "fig12", Title: "Fraction of flits stitched, with and without Flit Pooling", Fidelity: FidelityCycle, Run: fig12})
+	register(Experiment{ID: "fig14", Title: "Overall NetCrafter speedup and sector-cache comparison", Fidelity: FidelityCycle, Run: fig14})
+	register(Experiment{ID: "fig15", Title: "Inter-cluster memory latency, NetCrafter vs baseline", Fidelity: FidelityCycle, Run: fig15})
+	register(Experiment{ID: "fig16", Title: "L1 MPKI: NetCrafter trimming vs 16B sector cache", Fidelity: FidelityCycle, Run: fig16})
+	register(Experiment{ID: "fig17", Title: "GEMM L1 MPKI vs trimming/sector granularity 4/8/16B", Fidelity: FidelityCycle, Run: fig17})
+	register(Experiment{ID: "fig18", Title: "Stitching with plain Flit Pooling, 32-128 cycle windows", Fidelity: FidelityCycle, Run: fig18})
+	register(Experiment{ID: "fig19", Title: "Stitching with Selective Flit Pooling, 32-128 cycle windows", Fidelity: FidelityCycle, Run: fig19})
+	register(Experiment{ID: "fig20", Title: "Inter-cluster byte reduction from stitching and pooling", Fidelity: FidelityCycle, Run: fig20})
+	register(Experiment{ID: "fig21", Title: "Stitching + Selective Pooling at 8B vs 16B flit size", Fidelity: FidelityCycle, Run: fig21})
+	register(Experiment{ID: "fig22", Title: "NetCrafter speedup across bandwidth ratios and values", Fidelity: FidelityCycle, Run: fig22})
 }
 
 func fig3(opt Options) (*Report, error) {

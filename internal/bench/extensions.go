@@ -12,8 +12,8 @@ import (
 // cluster-count scaling study its introduction motivates.
 
 func init() {
-	register(Experiment{ID: "ext-trimwrites", Title: "Write-mask trimming extension vs the paper's read-only trimming", Run: extTrimWrites})
-	register(Experiment{ID: "ext-scaling", Title: "NetCrafter speedup at 2 and 4 clusters", Run: extScaling})
+	register(Experiment{ID: "ext-trimwrites", Title: "Write-mask trimming extension vs the paper's read-only trimming", Fidelity: FidelityCycle, Run: extTrimWrites})
+	register(Experiment{ID: "ext-scaling", Title: "NetCrafter speedup at 2 and 4 clusters", Fidelity: FidelityCycle, Run: extScaling})
 }
 
 // extTrimWrites compares the paper's design against the same design
@@ -74,7 +74,7 @@ func extScaling(opt Options) (*Report, error) {
 }
 
 func init() {
-	register(Experiment{ID: "ext-placement", Title: "LASP placement vs pattern-blind round-robin", Run: extPlacement})
+	register(Experiment{ID: "ext-placement", Title: "LASP placement vs pattern-blind round-robin", Fidelity: FidelityCycle, Run: extPlacement})
 }
 
 // extPlacement validates the paper's Section-5.1 claim that LASP gives

@@ -62,6 +62,11 @@ type Options struct {
 	// simulated component. Roughly doubles host cost per tick; simulated
 	// behaviour and report values are unaffected.
 	Profile bool
+	// Backend selects the simulation fidelity ("" = cycle). The flow
+	// backend runs only experiments tagged FidelityAny (see IDsFor);
+	// asking it for a cycle-fidelity experiment is an error, not a
+	// silent downgrade.
+	Backend cluster.Backend
 
 	// exp is the id of the experiment being run, stamped by Run for
 	// Progress events.
@@ -186,11 +191,31 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Fidelity states which simulation backends can regenerate an
+// experiment faithfully.
+type Fidelity int
+
+const (
+	// FidelityCycle marks experiments whose numbers depend on
+	// cycle-level mechanisms (workload memory traces, controller
+	// microbehavior, per-flit arbitration). They refuse to run on the
+	// flow backend. The zero value: experiments are cycle-only unless
+	// they opt out.
+	FidelityCycle Fidelity = iota
+	// FidelityAny marks experiments defined purely over communication
+	// plans, which every backend can run (at its own accuracy — see
+	// ext-calibrate for the measured flow-vs-cycle error).
+	FidelityAny
+)
+
 // Experiment is one regenerable artifact.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*Report, error)
+	// Fidelity is the least-detailed backend class that can regenerate
+	// this artifact (zero value = FidelityCycle).
+	Fidelity Fidelity
+	Run      func(Options) (*Report, error)
 }
 
 var registry = map[string]Experiment{}
@@ -212,6 +237,23 @@ func IDs() []string {
 	return ids
 }
 
+// IDsFor lists the experiments backend b can run, in sorted order:
+// every experiment for the cycle backend, only FidelityAny ones for
+// the flow backend.
+func IDsFor(b cluster.Backend) []string {
+	if b.Norm() == cluster.BackendCycle {
+		return IDs()
+	}
+	ids := make([]string, 0, len(registry))
+	for id, e := range registry {
+		if e.Fidelity == FidelityAny {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // Get returns the experiment with the given id.
 func Get(id string) (Experiment, error) {
 	e, ok := registry[id]
@@ -228,6 +270,10 @@ func Run(id string, opt Options) (*Report, error) {
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	if opt.Backend.Norm() != cluster.BackendCycle && e.Fidelity != FidelityAny {
+		return nil, fmt.Errorf("bench: experiment %q needs the cycle backend (backend %q can run: %v)",
+			id, opt.Backend.Norm(), IDsFor(opt.Backend))
+	}
 	opt.exp = id
 	return e.Run(opt)
 }

@@ -15,9 +15,9 @@ import (
 var statsGeoMean = stats.GeoMean
 
 func init() {
-	register(Experiment{ID: "table1", Title: "Flit categorization by type and size", Run: table1})
-	register(Experiment{ID: "table2", Title: "Baseline multi-GPU configuration", Run: table2})
-	register(Experiment{ID: "table3", Title: "Evaluated applications", Run: table3})
+	register(Experiment{ID: "table1", Title: "Flit categorization by type and size", Fidelity: FidelityCycle, Run: table1})
+	register(Experiment{ID: "table2", Title: "Baseline multi-GPU configuration", Fidelity: FidelityCycle, Run: table2})
+	register(Experiment{ID: "table3", Title: "Evaluated applications", Fidelity: FidelityCycle, Run: table3})
 }
 
 // table1 regenerates Table 1 from the packet model.

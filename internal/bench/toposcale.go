@@ -12,7 +12,7 @@ import (
 // recovers and how much inter-cluster wire traffic it removes.
 
 func init() {
-	register(Experiment{ID: "ext-toposcale", Title: "Topology scaling: uniform vs non-uniform fabrics with NetCrafter", Run: extTopoScale})
+	register(Experiment{ID: "ext-toposcale", Title: "Topology scaling: uniform vs non-uniform fabrics with NetCrafter", Fidelity: FidelityCycle, Run: extTopoScale})
 }
 
 // topoScaleCombos are the fabric shapes swept (GPUs x clusters).

@@ -154,6 +154,11 @@ type Trajectory struct {
 	Workloads []string `json:"workloads"`
 	Seed      uint64   `json:"seed"`
 	TopoHash  string   `json:"topo_hash"`
+	// Backend records the simulation fidelity the sweep ran at ("cycle"
+	// or "flow"; absent in pre-backend manifests means cycle). Resume
+	// refuses to mix backends, so flow sweeps never silently overwrite
+	// cycle-fidelity reports.
+	Backend string `json:"backend,omitempty"`
 	// Parallel is the worker cap the sweep ran with (report values do
 	// not depend on it; wall times do).
 	Parallel int `json:"parallel"`
@@ -261,6 +266,9 @@ func canResume(prev *Trajectory, so SweepOptions, topoHash string) error {
 	if prev.Seed != cluster.Baseline().Seed {
 		return fmt.Errorf("bench: resume: manifest seed %d, run seed %d", prev.Seed, cluster.Baseline().Seed)
 	}
+	if pb, rb := cluster.Backend(prev.Backend).Norm(), so.Backend.Norm(); pb != rb {
+		return fmt.Errorf("bench: resume: manifest backend %q, run backend %q", pb, rb)
+	}
 	return nil
 }
 
@@ -288,6 +296,7 @@ func RunSweep(ids []string, so SweepOptions) (*Trajectory, error) {
 		Workloads: append([]string(nil), opt.Workloads...),
 		Seed:      cluster.Baseline().Seed,
 		TopoHash:  topoHash,
+		Backend:   string(opt.Backend.Norm()),
 		Parallel:  opt.parallelism(),
 	}
 	sorted := append([]string(nil), ids...)

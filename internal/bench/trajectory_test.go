@@ -176,6 +176,25 @@ func TestSweepResumeRejectsMismatch(t *testing.T) {
 		t.Fatalf("workload mismatch accepted: %v", err)
 	}
 
+	so = tinySweepOpts()
+	so.Backend = "flow"
+	so.Resume = prev
+	if _, err := RunSweep([]string{"ext-collective"}, so); err == nil || !strings.Contains(err.Error(), "backend") {
+		t.Fatalf("backend mismatch accepted: %v", err)
+	}
+	// A pre-backend manifest (empty field) resumes under an explicit
+	// cycle run: both normalize to cycle.
+	if prev.Backend != "cycle" {
+		t.Fatalf("sweep recorded backend %q, want cycle", prev.Backend)
+	}
+	prev.Backend = ""
+	so = tinySweepOpts()
+	so.Backend = "cycle"
+	so.Resume = prev
+	if _, err := RunSweep([]string{"table1"}, so); err != nil {
+		t.Fatalf("legacy empty-backend manifest rejected: %v", err)
+	}
+
 	prev.TopoHash = "fnv64a:0000000000000000"
 	so = tinySweepOpts()
 	so.Resume = prev

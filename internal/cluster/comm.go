@@ -81,12 +81,21 @@ func (s *System) RunCommByName(name string, sc comm.Scale, opt comm.Options, lim
 	return s.RunComm(p, opt, limit)
 }
 
-// RunCommOne builds a fresh system with cfg and executes one named
-// communication program — the comm counterpart of RunOne.
+// RunCommOne generates one named communication program sized for cfg's
+// fabric (Scale.GPUs 0 means every GPU participates) and executes it
+// under cfg's backend — the comm counterpart of RunOne, dispatched
+// through RunCommPlan.
 func RunCommOne(cfg Config, name string, sc comm.Scale, limit sim.Cycle) (*comm.Result, error) {
-	sys, err := Build(cfg)
+	if sc.GPUs == 0 {
+		g, err := cfg.Graph()
+		if err != nil {
+			return nil, err
+		}
+		sc.GPUs = len(g.Devices)
+	}
+	p, err := comm.ByName(name, sc)
 	if err != nil {
 		return nil, err
 	}
-	return sys.RunCommByName(name, sc, comm.Options{}, limit)
+	return RunCommPlan(cfg, p, comm.Options{}, limit)
 }

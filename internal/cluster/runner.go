@@ -206,6 +206,9 @@ func (s *System) collect(name string, cycles sim.Cycle) *Result {
 // given scale, and returns the result — the top-level entry point used
 // by the benchmark harness and examples.
 func RunOne(cfg Config, name string, sc workload.Scale, limit sim.Cycle) (*Result, error) {
+	if cfg.Backend.Norm() != BackendCycle {
+		return nil, fmt.Errorf("cluster: workload %q needs the cycle backend: the flow backend models communication plans, not per-access memory traces", name)
+	}
 	spec, err := workload.ByName(name, sc)
 	if err != nil {
 		return nil, err

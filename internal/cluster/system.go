@@ -58,6 +58,11 @@ type Config struct {
 	// link. When nil, the GPUs/GPUsPerCluster/*GBps fields build the
 	// equivalent topo.FrontierNode graph.
 	Topo *topo.Graph
+	// Backend selects the simulation fidelity ("" = BackendCycle).
+	// BackendFlow solves communication plans analytically
+	// (internal/flow) instead of building a ticked system; workload
+	// runs require the cycle backend.
+	Backend Backend
 }
 
 // Baseline returns the paper's Table 2 system with the NetCrafter

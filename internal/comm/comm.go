@@ -19,7 +19,20 @@
 // A Plan is pure data; cluster.System.RunComm lowers it onto the
 // simulated machine through per-GPU Injectors that participate in the
 // wake-scheduled engine and issue line-sized posted writes through
-// gpu.RDMA under pooled txn transactions.
+// gpu.RDMA under pooled txn transactions. The analytic flow backend
+// (internal/flow) executes the same plans without injectors.
+//
+// # Concurrency and ownership
+//
+// Plan generation is pure: builders (ByName) derive everything from
+// the Scale's seed and return a freshly allocated Plan the caller
+// owns. A Plan is never mutated by execution — both backends only
+// read it — so one Plan may be run concurrently on any number of
+// private systems or networks (the bench worker pool does exactly
+// this). Tracker, Injector and Options.Hist/Dwell sinks, by contrast,
+// belong to one engine: they are single-goroutine state touched only
+// from that engine's tick loop, never shared across systems. Each Run
+// returns a fresh Result owned by the caller.
 package comm
 
 import (

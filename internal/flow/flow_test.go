@@ -1,0 +1,204 @@
+package flow
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"netcrafter/internal/comm"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/topo"
+)
+
+// frontier4 is the seed fabric: 4 GPUs, 2 clusters, 8 flits/cycle
+// intra (128 wire B/cy), 1 flit/cycle inter (16 wire B/cy), latency 1.
+func frontier4(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(topo.FrontierNode(4, 2, 8, 1, 1), Options{})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	return n
+}
+
+func onePlan(sends ...comm.Send) *comm.Plan {
+	return &comm.Plan{Name: "test", GPUs: 4, Sends: sends}
+}
+
+// A single intra-cluster flow is limited by the 128 wire-B/cycle
+// device links: 80 wire bytes per 64-byte line gives 102.4 payload
+// B/cycle, so 64 KiB takes 640 cycles plus the 6-cycle round trip
+// (3 links + 1 switch hop each way... forward 1+1+1 = 3, reverse 3).
+func TestSingleFlowIntra(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(comm.Send{Src: 0, Dst: 1, Bytes: 64 << 10, Req: -1}), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Cycle(646); res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d (640 transmission + 6 round trip)", res.Cycles, want)
+	}
+	if res.BytesMoved != 64<<10 {
+		t.Fatalf("BytesMoved = %d, want %d", res.BytesMoved, 64<<10)
+	}
+	if res.LineWrites != 1024 {
+		t.Fatalf("LineWrites = %d, want 1024", res.LineWrites)
+	}
+}
+
+// A cross-cluster flow bottlenecks on the 16 wire-B/cycle inter link:
+// 12.8 payload B/cycle, so 16 KiB takes 1280 cycles plus the 10-cycle
+// round trip (5 hops of latency 1 + 2 switch hops, each way).
+func TestSingleFlowInter(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(comm.Send{Src: 0, Dst: 2, Bytes: 16 << 10, Req: -1}), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Cycle(1290); res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d (1280 transmission + 10 round trip)", res.Cycles, want)
+	}
+}
+
+// Two flows sharing the inter link split it max-min fairly: each gets
+// 16/(2 x 1.25) = 6.4 payload B/cycle.
+func TestMaxMinShare(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(
+		comm.Send{Src: 0, Dst: 2, Bytes: 16 << 10, Req: -1},
+		comm.Send{Src: 1, Dst: 3, Bytes: 16 << 10, Req: -1},
+	), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Cycle(2570); res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d (16K/6.4 + 10 round trip)", res.Cycles, want)
+	}
+}
+
+// Opposite-direction flows contend through acknowledgments: each
+// direction of the inter link carries one flow's payload (weight 1.25)
+// plus the other's acks (weight 0.25), so each flow gets 16/1.5 =
+// 10.666 payload B/cycle — not the 12.8 an ack-blind model would give.
+func TestAckContention(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(
+		comm.Send{Src: 0, Dst: 2, Bytes: 16 << 10, Req: -1},
+		comm.Send{Src: 2, Dst: 0, Bytes: 16 << 10, Req: -1},
+	), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Cycle(1546); res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d (16K/(16/1.5) + 10 round trip)", res.Cycles, want)
+	}
+}
+
+// Step barriers serialize: step 1 starts only after step 0's ack.
+func TestStepBarrier(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(
+		comm.Send{Src: 0, Dst: 1, Bytes: 64 << 10, Step: 0, Req: -1},
+		comm.Send{Src: 0, Dst: 1, Bytes: 64 << 10, Step: 1, Req: -1},
+	), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := sim.Cycle(2 * 646); res.Cycles != want {
+		t.Fatalf("Cycles = %d, want %d (two serialized 646-cycle transfers)", res.Cycles, want)
+	}
+}
+
+// A self-send completes at issue and counts one line write, exactly
+// like the injector's local-delivery path.
+func TestSelfSend(t *testing.T) {
+	n := frontier4(t)
+	res, err := n.Run(onePlan(comm.Send{Src: 0, Dst: 0, Bytes: 4 << 10, Req: -1}), 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cycles != 0 || res.LineWrites != 1 || res.BytesMoved != 4<<10 {
+		t.Fatalf("self-send: cycles=%d lines=%d bytes=%d, want 0/1/%d",
+			res.Cycles, res.LineWrites, res.BytesMoved, 4<<10)
+	}
+}
+
+// The cycle limit fails the run like the cycle engine's RunUntil does.
+func TestCycleLimit(t *testing.T) {
+	n := frontier4(t)
+	_, err := n.Run(onePlan(comm.Send{Src: 0, Dst: 1, Bytes: 64 << 10, Req: -1}), 100)
+	if err == nil || !strings.Contains(err.Error(), "cycle limit 100 reached") {
+		t.Fatalf("err = %v, want cycle-limit error", err)
+	}
+}
+
+// Generated collectives conserve bytes and repeated runs are
+// byte-identical (Wall aside) — the determinism the parallel bench
+// harness relies on.
+func TestCollectiveConservationAndDeterminism(t *testing.T) {
+	n := frontier4(t)
+	for _, prog := range []string{"ring-allreduce", "tree-allreduce", "alltoall", "pipeline", "tensor", "serve-poisson", "serve-burst"} {
+		sc := comm.Tiny()
+		sc.GPUs = 4
+		p, err := comm.ByName(prog, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", prog, err)
+		}
+		a, err := n.Run(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", prog, err)
+		}
+		if a.BytesMoved != p.TotalBytes() {
+			t.Errorf("%s: BytesMoved = %d, want %d", prog, a.BytesMoved, p.TotalBytes())
+		}
+		if a.Cycles <= 0 {
+			t.Errorf("%s: nonpositive makespan %d", prog, a.Cycles)
+		}
+		if a.Incomplete != 0 {
+			t.Errorf("%s: %d incomplete requests", prog, a.Incomplete)
+		}
+		b, err := n.Run(p, 0)
+		if err != nil {
+			t.Fatalf("%s rerun: %v", prog, err)
+		}
+		a.Wall, b.Wall = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: repeated runs differ:\n%+v\n%+v", prog, a, b)
+		}
+	}
+}
+
+// Serving plans report every request latency, sorted ascending.
+func TestServingLatenciesSorted(t *testing.T) {
+	n := frontier4(t)
+	sc := comm.Tiny()
+	sc.GPUs = 4
+	p, err := comm.ByName("serve-poisson", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies) != res.Requests {
+		t.Fatalf("%d latencies for %d requests", len(res.Latencies), res.Requests)
+	}
+	for i := 1; i < len(res.Latencies); i++ {
+		if res.Latencies[i] < res.Latencies[i-1] {
+			t.Fatalf("latencies not sorted at %d: %v", i, res.Latencies)
+		}
+	}
+	if res.P99() < res.P50() {
+		t.Fatalf("p99 %d < p50 %d", res.P99(), res.P50())
+	}
+}
+
+// A plan addressing more GPUs than the fabric has endpoints fails.
+func TestTooManyGPUs(t *testing.T) {
+	n := frontier4(t)
+	p := &comm.Plan{Name: "big", GPUs: 8, Sends: []comm.Send{{Src: 0, Dst: 7, Bytes: 64, Req: -1}}}
+	if _, err := n.Run(p, 0); err == nil || !strings.Contains(err.Error(), "needs 8 GPUs") {
+		t.Fatalf("err = %v, want GPU-count error", err)
+	}
+}

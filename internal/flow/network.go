@@ -1,0 +1,195 @@
+package flow
+
+import (
+	"fmt"
+
+	"netcrafter/internal/comm"
+	"netcrafter/internal/flit"
+	"netcrafter/internal/sim"
+	"netcrafter/internal/topo"
+)
+
+// Options tunes the analytic model. The zero value selects the same
+// defaults the cycle engine uses, so a flow run is directly comparable
+// to a cycle run of the same plan.
+type Options struct {
+	// FlitBytes is the wire flit slot size; packet headers and payloads
+	// are rounded up to whole flits exactly as segmentation would
+	// (default flit.DefaultFlitBytes).
+	FlitBytes int
+	// LinesPerCycle caps each source's injection rate in line writes
+	// per cycle, matching comm.Options.LinesPerCycle (default 2).
+	LinesPerCycle int
+	// HopCycles is the per-switch processing latency added on top of
+	// each traversed link's propagation latency (default 1).
+	HopCycles sim.Cycle
+	// Start is the cycle corresponding to plan time 0.
+	Start sim.Cycle
+}
+
+// WithDefaults fills unset knobs.
+func (o Options) WithDefaults() Options {
+	if o.FlitBytes <= 0 {
+		o.FlitBytes = flit.DefaultFlitBytes
+	}
+	if o.LinesPerCycle <= 0 {
+		o.LinesPerCycle = 2
+	}
+	if o.HopCycles <= 0 {
+		o.HopCycles = 1
+	}
+	return o
+}
+
+// path is one device pair's precomputed route: the directed wire
+// segments the payload crosses (fwd), the segments the per-line
+// acknowledgments cross back (rev), and the round-trip propagation
+// latency — the offset between a flow's last byte entering the wire
+// and its last acknowledgment returning.
+type path struct {
+	fwd []int32
+	rev []int32
+	lat float64
+}
+
+// Network is the analytic form of a validated topology graph: one
+// capacity-annotated segment per link direction plus one injection
+// segment per device, and a routed path for every ordered device pair
+// (the same BFS next-hop tables the cycle engine installs in its
+// switches). A Network is immutable after NewNetwork and safe for
+// concurrent use; each Run allocates private solver state.
+type Network struct {
+	opt  Options
+	nDev int
+	// cap is the per-segment capacity: wire segments in wire bytes per
+	// cycle (rate x flit size), injection segments (the last nDev
+	// entries, from injBase) in payload bytes per cycle.
+	cap     []float64
+	injBase int
+	// paths holds the route for src*nDev+dst; src==dst entries are
+	// zero (self-sends never touch the network).
+	paths []path
+}
+
+// NewNetwork compiles a topology graph into its analytic form. The
+// graph is validated first (via NextHops), so the same structural
+// guarantees the cycle engine builds on hold here: every device has
+// exactly one same-cluster switch attachment and every switch routes
+// to every device.
+func NewNetwork(g *topo.Graph, opt Options) (*Network, error) {
+	opt = opt.WithDefaults()
+	hops, err := g.NextHops()
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{opt: opt, nDev: len(g.Devices)}
+	fb := float64(opt.FlitBytes)
+
+	type dirSeg struct {
+		id  int32
+		lat float64
+	}
+	segOf := make(map[[2]string]dirSeg, 2*len(g.Links))
+	for _, l := range g.Links {
+		segOf[[2]string{l.A, l.B}] = dirSeg{int32(len(n.cap)), float64(l.Latency)}
+		n.cap = append(n.cap, float64(l.RateAB())*fb)
+		segOf[[2]string{l.B, l.A}] = dirSeg{int32(len(n.cap)), float64(l.Latency)}
+		n.cap = append(n.cap, float64(l.RateBA())*fb)
+	}
+	n.injBase = len(n.cap)
+	for range g.Devices {
+		n.cap = append(n.cap, float64(opt.LinesPerCycle)*comm.LineBytes)
+	}
+
+	isDev := make(map[string]bool, len(g.Devices))
+	for _, d := range g.Devices {
+		isDev[d.Name] = true
+	}
+	// attach[device] = the switch its single attachment link reaches
+	// (validation guarantees exactly one, on the device's own cluster).
+	attach := make(map[string]string, len(g.Devices))
+	for _, l := range g.Links {
+		switch {
+		case isDev[l.A]:
+			attach[l.A] = l.B
+		case isDev[l.B]:
+			attach[l.B] = l.A
+		}
+	}
+
+	hopLat := float64(opt.HopCycles)
+	walk := func(src, dst int) ([]int32, float64, error) {
+		srcName, dstName := g.Devices[src].Name, g.Devices[dst].Name
+		segs := make([]int32, 0, 4)
+		lat := 0.0
+		cur, next := srcName, attach[srcName]
+		for steps := 0; ; steps++ {
+			if steps > len(g.Switches)+1 {
+				return nil, 0, fmt.Errorf("flow: routing loop between %s and %s", srcName, dstName)
+			}
+			ds, ok := segOf[[2]string{cur, next}]
+			if !ok {
+				return nil, 0, fmt.Errorf("flow: no link %s-%s on the %s->%s route", cur, next, srcName, dstName)
+			}
+			segs = append(segs, ds.id)
+			lat += ds.lat
+			if next == dstName {
+				return segs, lat, nil
+			}
+			lat += hopLat
+			nh, ok := hops[next][dstName]
+			if !ok {
+				return nil, 0, fmt.Errorf("flow: switch %s has no route to %s", next, dstName)
+			}
+			cur, next = next, nh
+		}
+	}
+
+	n.paths = make([]path, n.nDev*n.nDev)
+	for src := 0; src < n.nDev; src++ {
+		for dst := 0; dst < n.nDev; dst++ {
+			if src == dst {
+				continue
+			}
+			fwd, latF, err := walk(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			rev, latR, err := walk(dst, src)
+			if err != nil {
+				return nil, err
+			}
+			n.paths[src*n.nDev+dst] = path{fwd: fwd, rev: rev, lat: latF + latR}
+		}
+	}
+	return n, nil
+}
+
+// Devices returns the number of endpoints the network routes between.
+func (n *Network) Devices() int { return n.nDev }
+
+// wireCost converts a send's payload size into its on-wire footprint:
+// how many line writes it becomes, the forward wire bytes those lines
+// occupy (request header plus payload, rounded up to whole flits per
+// line packet), and the reverse wire bytes their acknowledgments
+// occupy (one response-header flit per line). Dividing by the payload
+// gives the per-payload-byte weights the max-min solver shares link
+// capacity by — so a 64-byte line costs 80 forward wire bytes and 16
+// reverse wire bytes at the default 16-byte flit, exactly what the
+// cycle engine's segmentation puts on the wire.
+func wireCost(payload, flitBytes int) (lines int64, fwdWire, revWire float64) {
+	const reqHdr = flit.MetaHeaderBytes + flit.AddrBytes
+	flits := func(bytes int) float64 {
+		return float64((bytes + flitBytes - 1) / flitBytes * flitBytes)
+	}
+	full := payload / comm.LineBytes
+	rem := payload % comm.LineBytes
+	lines = int64(full)
+	fwdWire = float64(full) * flits(reqHdr+comm.LineBytes)
+	if rem > 0 {
+		lines++
+		fwdWire += flits(reqHdr + rem)
+	}
+	revWire = float64(lines) * flits(flit.MetaHeaderBytes)
+	return lines, fwdWire, revWire
+}

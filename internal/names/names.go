@@ -2,6 +2,10 @@
 // communication programs, experiments) with helpful failure modes: an
 // unknown name produces an error that lists the valid choices and,
 // when something is plausibly close, a did-you-mean suggestion.
+//
+// The package is stateless — pure functions over their arguments, no
+// globals, nothing retained — so every function is safe to call
+// concurrently from any goroutine, including the bench worker pool's.
 package names
 
 import (

@@ -21,6 +21,14 @@
 // transaction to its table's free pool and is legal only with an empty
 // frame stack; a released transaction must never be touched, and every
 // accessor panics if it is.
+//
+// Concurrency: tables and transactions are engine-local,
+// single-goroutine state. A Table belongs to the cluster.System that
+// created it and is only touched from that system's engine tick loop
+// — no locks, by design, because that is what keeps the hot path
+// allocation- and contention-free. Parallel sweeps stay race-free by
+// giving every worker a private system (and therefore private
+// tables), never by sharing one.
 package txn
 
 import (

@@ -71,6 +71,26 @@ const (
 	FetchSector   = gpu.FetchSector
 )
 
+// Backend selects the simulation fidelity a Config runs at: the
+// cycle-level engine (every flit and mechanism ticked; the default)
+// or the analytic flow-level fast path (communication plans solved as
+// max-min fair fluid flows, orders of magnitude faster — see
+// DESIGN.md section 2.14 and the ext-calibrate experiment for its
+// measured error). Workload runs require BackendCycle.
+type Backend = cluster.Backend
+
+// Backends.
+const (
+	BackendCycle = cluster.BackendCycle
+	BackendFlow  = cluster.BackendFlow
+)
+
+// Backends lists the valid backend names.
+func Backends() []string { return cluster.Backends() }
+
+// ParseBackend resolves a backend name ("" means cycle).
+func ParseBackend(s string) (Backend, error) { return cluster.ParseBackend(s) }
+
 // Result is everything a workload run measured: cycles, cache and
 // network statistics, latencies, and the derived metrics the paper
 // reports (speedup, MPKI, utilization).
@@ -227,6 +247,14 @@ func RunCommPlan(sys *System, p *CommPlan, opt CommOptions, limit Cycle) (*CommR
 	return sys.RunComm(p, opt, limit)
 }
 
+// RunCommPlanWith executes an explicit plan under cfg's Backend
+// without requiring a built system: the cycle backend builds one
+// internally, the flow backend solves the plan analytically on the
+// resolved topology. This is the entry point for -backend flow runs.
+func RunCommPlanWith(cfg Config, p *CommPlan, opt CommOptions, limit Cycle) (*CommResult, error) {
+	return cluster.RunCommPlan(cfg, p, opt, limit)
+}
+
 // WriteCommTrace exports a plan in the JSONL trace format
 // ({"t":cycle,"src":gpu,"dst":gpu,"bytes":n,...}, one send per line).
 func WriteCommTrace(w io.Writer, p *CommPlan) error { return comm.WritePlan(w, p) }
@@ -314,6 +342,11 @@ type ExperimentProgress = bench.Progress
 // Experiments lists the regenerable paper artifacts (table1..3,
 // fig3..fig22).
 func Experiments() []string { return bench.IDs() }
+
+// ExperimentsFor lists the artifacts backend b can regenerate: all of
+// them for the cycle backend; only the communication-plan experiments
+// (fidelity "any") for the flow backend.
+func ExperimentsFor(b Backend) []string { return bench.IDsFor(b) }
 
 // RunExperiment regenerates one paper artifact.
 func RunExperiment(id string, opt ExperimentOptions) (*Report, error) {
