@@ -1,18 +1,19 @@
 # Development targets. `make ci` is the full gate: formatting, vet,
-# build, the test suite under the race detector (the observability layer
-# and the parallel sweep runner are concurrency-safe by contract, so
-# races are release blockers), a short fuzz of the topology spec parser,
-# the docs checks, and a race-instrumented smoke of the parallel sweep
-# runner end to end.
+# build, the test suite under the race detector (the observability
+# layer, the parallel sweep runner and the partitioned wake engine are
+# concurrency-safe by contract, so races are release blockers), a short
+# fuzz of the topology spec parser, the docs checks, and race-
+# instrumented smokes of the parallel sweep runner and the sharded
+# engine end to end.
 
 GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
 	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small \
-	staticcheck timeline-smoke comm-smoke flow-smoke
+	staticcheck timeline-smoke comm-smoke flow-smoke shard-smoke
 
 ci: fmt vet staticcheck build race fuzz-smoke docs-check bench-micro-smoke \
-	sweep-smoke timeline-smoke comm-smoke flow-smoke
+	sweep-smoke timeline-smoke comm-smoke flow-smoke shard-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -55,6 +56,8 @@ bench-micro:
 		-benchmem -count=3 ./internal/txn
 	$(GO) test -run='^$$' -bench='BenchmarkTimeline' \
 		-benchmem -count=3 ./internal/obs/timeline
+	$(GO) test -run='^$$' -bench='BenchmarkShard' \
+		-benchmem -count=3 ./internal/shard
 
 bench-micro-smoke:
 	$(GO) test -run='NoAllocs' -bench='BenchmarkEngine|BenchmarkQueue|BenchmarkScheduler' \
@@ -65,6 +68,8 @@ bench-micro-smoke:
 		-benchmem -count=1 -benchtime=100x ./internal/txn
 	$(GO) test -run='NoAllocs' -bench='BenchmarkTimelineDetached' \
 		-benchmem -count=1 -benchtime=100x ./internal/obs/timeline
+	$(GO) test -run='NoAllocs' -bench='BenchmarkShard' \
+		-benchmem -count=1 -benchtime=100x ./internal/shard
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzTopoParse -fuzztime=5s -run='^$$' ./internal/topo
@@ -113,7 +118,7 @@ arch-dot:
 	  '  { rank=same; vm; core; }' \
 	  '  { rank=same; gpu; }' \
 	  '  { rank=same; comm; }' \
-	  '  { rank=same; flow; }' \
+	  '  { rank=same; flow; shard; }' \
 	  '  { rank=same; cluster; }' \
 	  '  { rank=same; bench; }' \
 	  ''; \
@@ -181,6 +186,23 @@ flow-smoke:
 		echo "flow-smoke: fidelity gate let fig3 run on the flow backend"; exit 1; \
 	else grep -q 'cycle backend' /tmp/netcrafter-flow-smoke.err || \
 		{ echo "flow-smoke: gate error does not name the cycle backend"; exit 1; }; fi
+
+# Race-instrumented smoke of the partitioned wake engine: the same
+# fig3-small cell serial and at 2 shards through the shipped binary,
+# byte-compared — the sharded engine must be bit-identical to serial
+# (DESIGN.md section 2.15) and race-clean while proving it.
+shard-smoke:
+	$(GO) run -race ./cmd/netcrafter-sim -workload GUPS -scale tiny \
+		-topo frontier-4x2 > /tmp/netcrafter-shard-serial.txt
+	$(GO) run -race ./cmd/netcrafter-sim -workload GUPS -scale tiny \
+		-topo frontier-4x2 -shards 2 > /tmp/netcrafter-shard-sh2.txt
+	@cmp /tmp/netcrafter-shard-serial.txt /tmp/netcrafter-shard-sh2.txt || \
+		{ echo "shard-smoke: 2-shard run diverged from serial"; exit 1; }
+	@if $(GO) run ./cmd/netcrafter-sim -shards 2 -heatmap -workload GUPS -scale tiny \
+		>/dev/null 2>/tmp/netcrafter-shard-smoke.err; then \
+		echo "shard-smoke: observability gate let -heatmap run sharded"; exit 1; \
+	else grep -q 'serial engine' /tmp/netcrafter-shard-smoke.err || \
+		{ echo "shard-smoke: gate error does not name the serial engine"; exit 1; }; fi
 
 # The committed perf trajectory: the full small-scale sweep, every
 # experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).

@@ -8,6 +8,14 @@
 // the simulator's own throughput, and -resume skips experiments the
 // manifest already holds.
 //
+// -shards additionally partitions every cell's own engine across N
+// goroutines (cluster boundaries, lockstep epochs — DESIGN.md section
+// 2.15). Reports are byte-identical to serial runs; the manifest
+// records the shard count and -resume refuses to mix it, like
+// -backend. Cell fan-out (-parallel) and engine sharding (-shards)
+// compose, but on a saturated worker pool -parallel alone is usually
+// the better use of the cores.
+//
 // Usage:
 //
 //	netcrafter-bench -exp fig14                          # one artifact
@@ -45,6 +53,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		format   = flag.String("format", "text", "text | json | csv | chart")
 		parallel = flag.Int("parallel", 0, "worker goroutines fanning cells out (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "partition every cell's engine across N goroutines (0/1 = serial; reports are byte-identical, cycle backend only)")
 		resume   = flag.Bool("resume", false, "skip experiments already present in the manifest")
 		manifest = flag.String("manifest", "auto", "sweep manifest path ('auto' = BENCH_<scale>.json, 'off' = none)")
 		quiet    = flag.Bool("q", false, "suppress per-cell progress on stderr")
@@ -89,7 +98,10 @@ func main() {
 		return
 	}
 
-	opt := netcrafter.ExperimentOptions{Parallel: *parallel, Profile: *profile, Backend: backend}
+	if *shards > 1 && backend.Norm() != netcrafter.BackendCycle {
+		fail(fmt.Errorf("-shards %d partitions the cycle backend's engine; -backend %s cannot shard", *shards, backend.Norm()))
+	}
+	opt := netcrafter.ExperimentOptions{Parallel: *parallel, Profile: *profile, Backend: backend, Shards: *shards}
 	switch *scale {
 	case "tiny":
 		opt.Scale = netcrafter.Tiny()

@@ -9,10 +9,19 @@
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
 //	               [-timeline FILE] [-heatmap] [-profile-components]
-//	               [-inflight-dump]
+//	               [-inflight-dump] [-shards N]
 //	               [-comm ring-allreduce] [-comm-bytes N] [-qps N]
 //	               [-requests N] [-comm-export FILE] [-comm-replay FILE]
 //	               [-backend cycle|flow]
+//
+// -shards partitions the simulation at cluster boundaries and runs each
+// partition's engine on its own goroutine, in lockstep (DESIGN.md
+// section 2.15). Results are bit-identical to the serial engine at any
+// shard count; only wall-clock changes, so use it on multi-core hosts
+// with multi-cluster topologies. Shard counts above the cluster count
+// clamp down. Cycle backend only; the observability flags (-trace,
+// -spans, -metrics, -timeline, -heatmap) and the -comm modes
+// instrument shared state and refuse to combine with -shards.
 //
 // -backend selects the simulation fidelity. The default cycle backend
 // ticks every flit through the real switches and controllers; the
@@ -108,6 +117,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		reqs   = fs.Int("requests", 0, "override the serving programs' request count")
 		commX  = fs.String("comm-export", "", "write the generated comm plan as a JSONL trace to this file ('-' = stdout)")
 		commR  = fs.String("comm-replay", "", "execute a JSONL comm trace instead of generating a plan")
+		shards = fs.Int("shards", 0, "partition the simulation across N engine goroutines (0/1 = serial; bit-identical results, cycle backend only)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -175,6 +185,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	if *prof {
 		cfg.Profile = true
+	}
+	if *shards > 1 {
+		// Fail the flag combinations here, before any simulation state is
+		// built, with messages that name the conflicting flag.
+		if *commF != "" || *commR != "" {
+			return fail(fmt.Errorf("-shards needs the serial engine: -comm/-comm-replay register global injectors and a shared tracker"))
+		}
+		if *traceF != "" || *spansF != "" || *metF != "" || *tlF != "" || *heat {
+			return fail(fmt.Errorf("-shards needs the serial engine: -trace/-spans/-metrics/-timeline/-heatmap attach observability sinks shared across shards"))
+		}
+		cfg.Shards = *shards
 	}
 
 	sc, err := pickScale(*scale)

@@ -97,10 +97,7 @@ func runCommCells(opt Options, cells []commCell) ([]*comm.Result, error) {
 	}
 	n := len(cells)
 	out := make([]cellOut, n)
-	workers := opt.parallelism()
-	if workers > n {
-		workers = n
-	}
+	workers := opt.parallelism(n)
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup

@@ -67,6 +67,14 @@ type Options struct {
 	// asking it for a cycle-fidelity experiment is an error, not a
 	// silent downgrade.
 	Backend cluster.Backend
+	// Shards partitions every cell's engine across that many worker
+	// goroutines (cluster.Config.Shards; <= 1 means serial). Applied
+	// only to cells whose configuration leaves Shards unset, so
+	// experiments that pin their own shard count (ext-shard) keep it.
+	// Reports are byte-identical at any setting — the partitioned
+	// engine reproduces the serial schedule exactly (DESIGN.md section
+	// 2.15) — only wall-clock changes. Cycle backend only.
+	Shards int
 
 	// exp is the id of the experiment being run, stamped by Run for
 	// Progress events.
@@ -273,6 +281,9 @@ func Run(id string, opt Options) (*Report, error) {
 	if opt.Backend.Norm() != cluster.BackendCycle && e.Fidelity != FidelityAny {
 		return nil, fmt.Errorf("bench: experiment %q needs the cycle backend (backend %q can run: %v)",
 			id, opt.Backend.Norm(), IDsFor(opt.Backend))
+	}
+	if opt.Shards > 1 && opt.Backend.Norm() != cluster.BackendCycle {
+		return nil, fmt.Errorf("bench: Shards=%d partitions the cycle backend's engine; backend %q cannot shard — run with Shards <= 1", opt.Shards, opt.Backend.Norm())
 	}
 	opt.exp = id
 	return e.Run(opt)

@@ -129,15 +129,21 @@ func (s *sweepStats) snapshotProfile() []sim.ComponentCost {
 	return out
 }
 
-// parallelism resolves the worker count: Options.Parallel, defaulting
-// to GOMAXPROCS, never less than 1.
-func (o Options) parallelism() int {
+// parallelism resolves the worker count for a batch of cells:
+// Options.Parallel, defaulting to GOMAXPROCS, never less than 1 and —
+// when cells > 0 — never more than the batch size, since a worker past
+// the cell count would only be spawned to exit immediately. Pass
+// cells = 0 for the batch-independent resolution (manifest metadata).
+func (o Options) parallelism(cells int) int {
 	p := o.Parallel
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
 	if p < 1 {
 		p = 1
+	}
+	if cells > 0 && p > cells {
+		p = cells
 	}
 	return p
 }
@@ -166,10 +172,7 @@ func runSuites(opt Options, cfgs ...cluster.Config) ([]map[string]*cluster.Resul
 	}
 	out := make([]cellOut, n)
 
-	workers := opt.parallelism()
-	if workers > n {
-		workers = n
-	}
+	workers := opt.parallelism(n)
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
@@ -189,6 +192,9 @@ func runSuites(opt Options, cfgs ...cluster.Config) ([]map[string]*cluster.Resul
 				cfg := cfgs[ci] // value copy: per-cell tweaks stay local
 				if opt.Profile {
 					cfg.Profile = true
+				}
+				if opt.Shards > 1 && cfg.Shards == 0 {
+					cfg.Shards = opt.Shards
 				}
 				t0 := time.Now()
 				r, err := cluster.RunOne(cfg, name, opt.Scale, opt.Limit)

@@ -143,15 +143,25 @@ func TestConcurrentExperimentsRace(t *testing.T) {
 	}
 }
 
-// TestParallelismDefault pins the GOMAXPROCS default and the floor.
+// TestParallelismDefault pins the GOMAXPROCS default, the floor, and
+// the cell-count ceiling.
 func TestParallelismDefault(t *testing.T) {
-	if got := (Options{}).parallelism(); got < 1 {
+	if got := (Options{}).parallelism(0); got < 1 {
 		t.Fatalf("default parallelism %d < 1", got)
 	}
-	if got := (Options{Parallel: 3}).parallelism(); got != 3 {
+	if got := (Options{Parallel: 3}).parallelism(0); got != 3 {
 		t.Fatalf("explicit parallelism not honored: %d", got)
 	}
-	if got := (Options{Parallel: -7}).parallelism(); got < 1 {
+	if got := (Options{Parallel: -7}).parallelism(0); got < 1 {
 		t.Fatalf("negative parallelism not clamped: %d", got)
+	}
+	if got := (Options{Parallel: 64}).parallelism(3); got != 3 {
+		t.Fatalf("parallelism above cell count not clamped: %d", got)
+	}
+	if got := (Options{Parallel: 2}).parallelism(5); got != 2 {
+		t.Fatalf("parallelism below cell count changed: %d", got)
+	}
+	if got := (Options{Parallel: -1}).parallelism(4); got < 1 || got > 4 {
+		t.Fatalf("defaulted parallelism not within [1,cells]: %d", got)
 	}
 }

@@ -162,6 +162,21 @@ type Trajectory struct {
 	// Parallel is the worker cap the sweep ran with (report values do
 	// not depend on it; wall times do).
 	Parallel int `json:"parallel"`
+	// Shards is the engine shard count every cell ran with (1, or
+	// absent in older manifests, means the serial engine). Sharding is
+	// byte-identical by design (DESIGN.md section 2.15), but like
+	// Backend it changes which engine produced the reports, so resume
+	// refuses a mismatch — an
+	// equivalence regression must surface as a failure, never hide
+	// inside a mixed manifest.
+	Shards int `json:"shards"`
+	// HostCPUs and GoMaxProcs fingerprint the host the throughput
+	// numbers were measured on: runtime.NumCPU and the effective
+	// GOMAXPROCS at sweep time. Measurement metadata — resume ignores
+	// them, but a trajectory diff needs them to tell "the simulator got
+	// slower" from "the host got smaller".
+	HostCPUs   int `json:"host_cpus,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 
 	// Aggregates over every entry, resumed ones included.
 	Cells           int     `json:"cells"`
@@ -269,7 +284,19 @@ func canResume(prev *Trajectory, so SweepOptions, topoHash string) error {
 	if pb, rb := cluster.Backend(prev.Backend).Norm(), so.Backend.Norm(); pb != rb {
 		return fmt.Errorf("bench: resume: manifest backend %q, run backend %q", pb, rb)
 	}
+	if ps, rs := normShards(prev.Shards), normShards(so.Shards); ps != rs {
+		return fmt.Errorf("bench: resume: manifest shards %d, run shards %d", ps, rs)
+	}
 	return nil
+}
+
+// normShards maps every serial spelling (0, 1, negative) to 1 so
+// manifests predating the field compare equal to explicit -shards 1.
+func normShards(s int) int {
+	if s < 1 {
+		return 1
+	}
+	return s
 }
 
 // RunSweep executes the listed experiments and returns the sweep's
@@ -288,16 +315,19 @@ func RunSweep(ids []string, so SweepOptions) (*Trajectory, error) {
 		}
 	}
 	traj := &Trajectory{
-		Schema:    TrajectorySchema,
-		Tool:      "netcrafter-bench",
-		GoVersion: runtime.Version(),
-		StartedAt: time.Now().UTC().Format(time.RFC3339),
-		Scale:     so.ScaleName,
-		Workloads: append([]string(nil), opt.Workloads...),
-		Seed:      cluster.Baseline().Seed,
-		TopoHash:  topoHash,
-		Backend:   string(opt.Backend.Norm()),
-		Parallel:  opt.parallelism(),
+		Schema:     TrajectorySchema,
+		Tool:       "netcrafter-bench",
+		GoVersion:  runtime.Version(),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      so.ScaleName,
+		Workloads:  append([]string(nil), opt.Workloads...),
+		Seed:       cluster.Baseline().Seed,
+		TopoHash:   topoHash,
+		Backend:    string(opt.Backend.Norm()),
+		Parallel:   opt.parallelism(0),
+		Shards:     normShards(opt.Shards),
+		HostCPUs:   runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)

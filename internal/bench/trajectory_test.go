@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -93,6 +94,13 @@ func TestSweepRoundTrip(t *testing.T) {
 	}
 	if traj.Cells == 0 || traj.SimCycles == 0 || traj.WallSeconds <= 0 {
 		t.Fatalf("aggregates missing: %+v", traj)
+	}
+	// Host fingerprint: the manifest must say what it ran on and with.
+	if traj.HostCPUs != runtime.NumCPU() || traj.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("host fingerprint wrong: cpus=%d gomaxprocs=%d", traj.HostCPUs, traj.GoMaxProcs)
+	}
+	if traj.Shards != 1 {
+		t.Fatalf("serial sweep recorded shards %d, want 1", traj.Shards)
 	}
 
 	var sb strings.Builder
@@ -193,6 +201,28 @@ func TestSweepResumeRejectsMismatch(t *testing.T) {
 	so.Resume = prev
 	if _, err := RunSweep([]string{"table1"}, so); err != nil {
 		t.Fatalf("legacy empty-backend manifest rejected: %v", err)
+	}
+
+	// A serial manifest must not feed a sharded run: the reports are
+	// byte-identical by design, but a mixed manifest would mask an
+	// equivalence regression.
+	so = tinySweepOpts()
+	so.Shards = 2
+	so.Resume = prev
+	if _, err := RunSweep([]string{"table1"}, so); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard mismatch accepted: %v", err)
+	}
+	// A pre-shard manifest (field absent, decoded as 0) resumes under an
+	// explicit serial run: both normalize to 1.
+	if prev.Shards != 1 {
+		t.Fatalf("sweep recorded shards %d, want 1", prev.Shards)
+	}
+	prev.Shards = 0
+	so = tinySweepOpts()
+	so.Shards = 1
+	so.Resume = prev
+	if _, err := RunSweep([]string{"table1"}, so); err != nil {
+		t.Fatalf("legacy zero-shards manifest rejected: %v", err)
 	}
 
 	prev.TopoHash = "fnv64a:0000000000000000"

@@ -62,6 +62,9 @@ func RunCommPlan(cfg Config, p *comm.Plan, opt comm.Options, limit sim.Cycle) (*
 		}
 		return sys.RunComm(p, opt, limit)
 	case BackendFlow:
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("cluster: Shards=%d partitions the cycle backend's engine; the flow backend is a single analytic solve — run it with Shards <= 1", cfg.Shards)
+		}
 		rcfg, g, err := cfg.resolve()
 		if err != nil {
 			return nil, err

@@ -34,6 +34,9 @@ func commAddr(dst int, off uint64) uint64 {
 // dwell track. Repeated calls on one system run back to back on the
 // engine's clock.
 func (s *System) RunComm(p *comm.Plan, opt comm.Options, limit sim.Cycle) (*comm.Result, error) {
+	if s.coord != nil {
+		return nil, fmt.Errorf("cluster: the comm runner registers global injectors and a shared tracker and needs the serial engine: run with Shards <= 1")
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

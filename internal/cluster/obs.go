@@ -37,6 +37,7 @@ const obsWireWindow sim.Cycle = 1024
 // with WriteTrace / WriteHeatmap / WriteProfile.
 func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder, tl *timeline.Timeline) {
 	s.obsReg, s.obsTL = reg, tl
+	s.obsSpans = s.obsSpans || spans != nil
 	s.attachTimeline(tl)
 	for _, g := range s.GPUs {
 		g.AttachObs(reg, spans)

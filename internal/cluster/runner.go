@@ -113,9 +113,12 @@ func waveSeed(seed uint64, kernel, cta, wave int) uint64 {
 // boundaries under software coherence). It returns the aggregated
 // result or an error if the cycle limit is exceeded.
 func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, error) {
+	if s.coord != nil && (s.obsReg != nil || s.obsTL != nil || s.obsSpans || s.traced) {
+		return nil, fmt.Errorf("cluster: observability sinks (metrics, spans, timeline, trace) are shared across components and need the serial engine: run with Shards <= 1")
+	}
 	s.Load(spec)
 	start := s.Engine.Now()
-	wallStart := s.Engine.WallTime()
+	wallStart := s.simWall()
 	for ki, k := range spec.Kernels {
 		placement := lasp.ScheduleCTAs(k, s.cfg.GPUs)
 		for cta := 0; cta < k.CTAs; cta++ {
@@ -125,7 +128,7 @@ func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, err
 				g.EnqueueWave(k.NewProgram(cta, w, rng), s.Engine.Now())
 			}
 		}
-		if _, err := s.Engine.RunUntil(s.AllIdle, limit); err != nil {
+		if _, err := s.runUntilIdle(limit); err != nil {
 			return nil, fmt.Errorf("cluster: %s kernel %s: %w", spec.Name, k.Name, err)
 		}
 		for _, g := range s.GPUs {
@@ -133,8 +136,8 @@ func (s *System) RunWorkload(spec *workload.Spec, limit sim.Cycle) (*Result, err
 		}
 	}
 	r := s.collect(spec.Name, s.Engine.Now()-start)
-	r.Wall = s.Engine.WallTime() - wallStart
-	r.Components = s.Engine.Profile()
+	r.Wall = s.simWall() - wallStart
+	r.Components = s.profile()
 	return r, nil
 }
 

@@ -11,6 +11,8 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sort"
+	"time"
 
 	"netcrafter/internal/core"
 	"netcrafter/internal/flit"
@@ -19,6 +21,7 @@ import (
 	"netcrafter/internal/network"
 	"netcrafter/internal/obs"
 	"netcrafter/internal/obs/timeline"
+	"netcrafter/internal/shard"
 	"netcrafter/internal/sim"
 	"netcrafter/internal/topo"
 	"netcrafter/internal/trace"
@@ -63,6 +66,13 @@ type Config struct {
 	// (internal/flow) instead of building a ticked system; workload
 	// runs require the cycle backend.
 	Backend Backend
+	// Shards partitions the simulation at cluster-boundary links and
+	// runs each partition's engine on its own goroutine (internal/
+	// shard), bit-identical to serial execution. 0 or 1 means serial;
+	// counts above the cluster count clamp down. Cycle backend only;
+	// shared observability sinks (obs, spans, timeline, trace) and the
+	// comm runner require Shards <= 1.
+	Shards int
 }
 
 // Baseline returns the paper's Table 2 system with the NetCrafter
@@ -182,9 +192,17 @@ func (f *frameAlloc) AllocFrame(g int) uint64 {
 
 // System is one built multi-GPU node ready to run workloads.
 type System struct {
+	// Engine and Sched are the first (and, when Config.Shards <= 1,
+	// only) shard's engine and scheduler. All shard engines advance in
+	// lockstep, so Engine.Now() is the system clock regardless of the
+	// shard count.
 	Engine *sim.Engine
 	Sched  *sim.Scheduler
-	GPUs   []*gpu.GPU
+	// Engines/Scheds hold one engine and scheduler per shard, in shard
+	// order (length 1 for a serial system).
+	Engines []*sim.Engine
+	Scheds  []*sim.Scheduler
+	GPUs    []*gpu.GPU
 	// Controllers holds the NetCrafter controllers, one per clustered
 	// endpoint of every cluster-boundary link, in boundary-link order.
 	Controllers []*core.Controller
@@ -217,6 +235,16 @@ type System struct {
 	obsReg   *obs.Registry
 	obsTL    *timeline.Timeline
 	commRuns int
+	// coord drives the shard engines in lockstep when Config.Shards
+	// partitioned the system (nil = serial); idleFns are the per-shard
+	// done predicates (each shard's GPUs drained), shardGPUs the GPU
+	// ownership behind them. obsSpans/traced record that shared
+	// observability sinks were attached, which sharded runs refuse.
+	coord     *shard.Coordinator
+	idleFns   []func() bool
+	shardGPUs [][]*gpu.GPU
+	obsSpans  bool
+	traced    bool
 }
 
 // graphTopology implements gpu.Topology from the device list of a
@@ -256,18 +284,43 @@ func Build(cfg Config) (*System, error) {
 // graph it reproduces the original hand-wired system exactly.
 func build(cfg Config, g *topo.Graph) (*System, error) {
 	s := &System{
-		Engine:    sim.NewEngine(),
-		Sched:     sim.NewScheduler(),
 		Topo:      g,
 		cfg:       cfg,
 		nClusters: g.NumClusters(),
 		alloc:     &frameAlloc{next: make([]uint64, len(g.Devices))},
 		rng:       sim.NewRand(cfg.Seed),
 	}
-	if cfg.Profile {
-		s.Engine.EnableProfile()
+	// Partition clusters across shards (nil plan = serial). Each shard
+	// gets its own engine and scheduler; every component registers in
+	// its owning shard's engine, in the serial registration order
+	// filtered to ownership, so each shard's tick order is the serial
+	// order restricted to its components.
+	plan := shard.PlanFor(s.nClusters, cfg.Shards)
+	nShards := 1
+	if plan != nil {
+		nShards = plan.N
 	}
-	s.Engine.Register("sched", s.Sched)
+	shardOf := func(cluster int) int {
+		if plan == nil {
+			return 0
+		}
+		return plan.Of(cluster)
+	}
+	s.Engines = make([]*sim.Engine, nShards)
+	s.Scheds = make([]*sim.Scheduler, nShards)
+	s.shardGPUs = make([][]*gpu.GPU, nShards)
+	for i := range s.Engines {
+		s.Engines[i] = sim.NewEngine()
+		s.Scheds[i] = sim.NewScheduler()
+		if cfg.Profile {
+			s.Engines[i].EnableProfile()
+		}
+		s.Engines[i].Register("sched", s.Scheds[i])
+	}
+	s.Engine, s.Sched = s.Engines[0], s.Scheds[0]
+	if plan != nil {
+		s.coord = shard.NewCoordinator(s.Engines)
+	}
 	s.PT = vm.NewPageTable(s.alloc)
 
 	clusters := make([]flit.ClusterID, len(g.Devices))
@@ -282,7 +335,10 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		s.Tables[c] = txn.NewTable(fmt.Sprintf("cluster%d", c))
 	}
 	for i, d := range g.Devices {
-		s.GPUs = append(s.GPUs, gpu.New(i, cfg.GPU, tp, s.PT, s.Tables[d.Cluster], s.Sched))
+		sh := shardOf(d.Cluster)
+		gp := gpu.New(i, cfg.GPU, tp, s.PT, s.Tables[d.Cluster], s.Scheds[sh])
+		s.GPUs = append(s.GPUs, gp)
+		s.shardGPUs[sh] = append(s.shardGPUs[sh], gp)
 	}
 
 	sws := make(map[string]*network.Switch, len(g.Switches))
@@ -335,6 +391,9 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 	ncCfg.FlitBytes = cfg.GPU.FlitBytes
 	remoteClusters := s.nClusters - 1
 	ctlPerCluster := map[int]int{}
+	// ctlShard[i] is the owning shard of s.Controllers[i] (the shard of
+	// its cluster), for the deterministic registration pass below.
+	var ctlShard []int
 	// splice inserts a NetCrafter controller between a cluster switch
 	// and the boundary link toward far: an intra-speed segment from the
 	// switch to the controller's local side, the controller ejecting at
@@ -353,12 +412,13 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		cc.EjectRate = egressRate
 		ctl := core.NewController(ctlName, flit.ClusterID(cluster), remoteClusters, cc)
 		s.Controllers = append(s.Controllers, ctl)
+		ctlShard = append(ctlShard, shardOf(cluster))
 		if lbw == 0 {
 			lbw = localBW[swName]
 		}
 		local := network.NewLink("l."+ctlName, ctl.Local, addPort(sw, portName, far, lbw), lbw, lat)
 		s.Links = append(s.Links, local)
-		s.Engine.Register(local.Name, local)
+		s.Engines[shardOf(cluster)].Register(local.Name, local)
 		return ctl.Remote
 	}
 
@@ -391,14 +451,16 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			}
 			link := network.NewAsymLink("l."+dev, ends[0], ends[1], ab, ba, ln.Latency)
 			s.Links = append(s.Links, link)
-			s.Engine.Register(link.Name, link)
+			s.Engines[shardOf(g.Devices[gi].Cluster)].Register(link.Name, link)
 		case !g.Boundary(ln):
-			// Intra-cluster or backbone-internal switch-switch link.
+			// Intra-cluster or backbone-internal switch-switch link
+			// (validation guarantees both endpoints share a cluster, or
+			// both are backbone — one owner either way).
 			pa := addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
 			pb := addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
 			link := network.NewAsymLink("l."+ln.A+"-"+ln.B, pa, pb, ab, ba, ln.Latency)
 			s.Links = append(s.Links, link)
-			s.Engine.Register(link.Name, link)
+			s.Engines[shardOf(swCluster[ln.A])].Register(link.Name, link)
 		default:
 			// Cluster boundary: controllers guard each clustered
 			// endpoint; a backbone endpoint takes the link raw.
@@ -421,7 +483,22 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			link := network.NewAsymLink(name, endA, endB, ab, ba, ln.Latency)
 			s.InterLinks = append(s.InterLinks, link)
 			s.Links = append(s.Links, link)
-			s.Engine.Register(name, link)
+			shA := shardOf(swCluster[ln.A])
+			shB := shardOf(swCluster[ln.B])
+			if shA == shB {
+				s.Engines[shA].Register(name, link)
+			} else {
+				// The link crosses a shard boundary: split it into its
+				// directional halves, each registered at this link's
+				// slot in its owning shard's engine, with the staged
+				// flits exchanged through the coordinator at epoch
+				// barriers.
+				hab, hba := network.SplitLink(link)
+				s.Engines[shA].Register(hab.Name, hab)
+				s.Engines[shB].Register(hba.Name, hba)
+				s.coord.AddBoundary(hab.Name, shA, shB, hab, link.B.In)
+				s.coord.AddBoundary(hba.Name, shB, shA, hba, link.A.In)
+			}
 		}
 	}
 
@@ -448,14 +525,30 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 
 	// Register remaining tickers in deterministic order.
 	for _, sn := range g.Switches {
-		s.Engine.Register(sn.Name, sws[sn.Name])
+		s.Engines[shardOf(sn.Cluster)].Register(sn.Name, sws[sn.Name])
 	}
-	for _, ctl := range s.Controllers {
-		s.Engine.Register(ctl.Name, ctl)
+	for ci, ctl := range s.Controllers {
+		s.Engines[ctlShard[ci]].Register(ctl.Name, ctl)
 	}
-	for _, gp := range s.GPUs {
+	for gi, gp := range s.GPUs {
+		eng := s.Engines[shardOf(g.Devices[gi].Cluster)]
 		for i, t := range gp.Tickers() {
-			s.Engine.Register(fmt.Sprintf("%s.t%d", gp.Name, i), t)
+			eng.Register(fmt.Sprintf("%s.t%d", gp.Name, i), t)
+		}
+	}
+	// Per-shard done predicates: a shard is idle when every GPU it owns
+	// has drained (remote traffic in flight keeps its requesting GPU
+	// non-idle, so the conjunction over shards equals AllIdle).
+	s.idleFns = make([]func() bool, nShards)
+	for i := range s.idleFns {
+		gs := s.shardGPUs[i]
+		s.idleFns[i] = func() bool {
+			for _, g := range gs {
+				if !g.Idle() {
+					return false
+				}
+			}
+			return true
 		}
 	}
 	return s, nil
@@ -466,6 +559,72 @@ func (s *System) Config() Config { return s.cfg }
 
 // NumClusters returns the cluster count.
 func (s *System) NumClusters() int { return s.nClusters }
+
+// Shards returns the number of engine shards the system was partitioned
+// into (1 = serial execution).
+func (s *System) Shards() int { return len(s.Engines) }
+
+// BoundaryFlows returns the cumulative cross-shard boundary traffic per
+// direction (nil for a serial system) — every byte staged out of a
+// shard must have been delivered into its peer.
+func (s *System) BoundaryFlows() []shard.BoundaryFlow {
+	if s.coord == nil {
+		return nil
+	}
+	return s.coord.BoundaryFlows()
+}
+
+// runUntilIdle drives the simulation until the system drains or the
+// cycle limit hits: the serial engine directly, or all shard engines in
+// lockstep through the coordinator. Both paths stop at the same cycle
+// with the same error by the shard package's equivalence contract.
+func (s *System) runUntilIdle(limit sim.Cycle) (sim.Cycle, error) {
+	if s.coord != nil {
+		return s.coord.RunUntil(s.idleFns, limit)
+	}
+	return s.Engine.RunUntil(s.AllIdle, limit)
+}
+
+// simWall returns the host wall-clock time spent driving the
+// simulation so far (the coordinator's clock when sharded — shard
+// engines are stepped directly and never accumulate their own).
+func (s *System) simWall() time.Duration {
+	if s.coord != nil {
+		return s.coord.Wall()
+	}
+	return s.Engine.WallTime()
+}
+
+// profile returns the per-component host-time self-profile, merging the
+// per-shard engines' profiles when sharded (rows with the same name —
+// the per-shard schedulers — sum; order is host time descending, name
+// ascending, matching sim.Engine.Profile).
+func (s *System) profile() []sim.ComponentCost {
+	if len(s.Engines) == 1 {
+		return s.Engine.Profile()
+	}
+	byName := map[string]int{}
+	var out []sim.ComponentCost
+	for _, e := range s.Engines {
+		for _, c := range e.Profile() {
+			if i, ok := byName[c.Name]; ok {
+				out[i].Ticks += c.Ticks
+				out[i].Busy += c.Busy
+				out[i].Host += c.Host
+			} else {
+				byName[c.Name] = len(out)
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Host != out[j].Host {
+			return out[i].Host > out[j].Host
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
 
 // AllIdle reports whether every GPU has drained.
 func (s *System) AllIdle() bool {
@@ -480,6 +639,7 @@ func (s *System) AllIdle() bool {
 // AttachTrace streams wire-level controller events (ejections,
 // stitches, trims, pooling) to the recorder; pass nil to stop.
 func (s *System) AttachTrace(rec *trace.Recorder) {
+	s.traced = rec != nil
 	for _, ctl := range s.Controllers {
 		ctl.Trace = rec
 	}

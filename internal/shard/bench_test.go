@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"netcrafter/internal/flit"
+	"netcrafter/internal/network"
+	"netcrafter/internal/sim"
+)
+
+// BenchmarkShardBarrier measures one epoch barrier crossing per op at
+// the shard counts the partitioner actually produces.
+func BenchmarkShardBarrier(b *testing.B) {
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			bar := &barrier{n: int32(n), spin: runtime.GOMAXPROCS(0) >= n}
+			var wg sync.WaitGroup
+			wg.Add(n)
+			b.ResetTimer()
+			for w := 0; w < n; w++ {
+				go func() {
+					defer wg.Done()
+					for k := 0; k < b.N; k++ {
+						bar.wait()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// exchangeHarness is one boundary direction driven single-threaded: a
+// producer staging a batch through the half-link, the barrier-published
+// swap, and the consumer-side drain — the steady-state epoch loop minus
+// the goroutines.
+type exchangeHarness struct {
+	link  *network.Link
+	half  *network.HalfLink
+	dst   *sim.Queue[*flit.Flit]
+	flits []*flit.Flit
+	spare []network.Staged
+	now   sim.Cycle
+}
+
+func newExchangeHarness(batch int) *exchangeHarness {
+	a, b := network.NewPort("a", 0), network.NewPort("b", 0)
+	l := network.NewLink("bound", a, b, batch, 2)
+	ab, _ := network.SplitLink(l)
+	h := &exchangeHarness{link: l, half: ab, dst: sim.NewQueue[*flit.Flit](0, 1)}
+	for i := 0; i < batch; i++ {
+		h.flits = append(h.flits, &flit.Flit{Used: 16, Size: 16})
+	}
+	return h
+}
+
+// epoch runs one stage -> publish -> drain cycle for the whole batch.
+func (h *exchangeHarness) epoch() {
+	for _, f := range h.flits {
+		h.link.A.Out.PushAt(f, h.now)
+	}
+	h.now++ // queue delay: pushed flits become ready next cycle
+	h.half.SyncOccupancy(0)
+	h.half.Tick(h.now)
+	got := h.half.TakeBatch(h.spare)
+	for _, sf := range got {
+		h.dst.PushAt(sf.F, sf.ReadyAt)
+	}
+	h.spare = got // the drained batch becomes the next publish buffer
+	h.now += h.link.Latency + 1
+	for {
+		if _, ok := h.dst.Pop(h.now); !ok {
+			break
+		}
+	}
+}
+
+// BenchmarkShardExchange measures one full boundary exchange epoch
+// (batch staged, swapped, delivered, drained) per op.
+func BenchmarkShardExchange(b *testing.B) {
+	for _, batch := range []int{1, 8} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			h := newExchangeHarness(batch)
+			h.epoch() // warm the batch and queue backing arrays
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.epoch()
+			}
+		})
+	}
+}
+
+// TestShardExchangeNoAllocs pins the steady-state epoch loop at zero
+// allocations per exchange: batch buffers ping-pong through TakeBatch
+// and the queues reuse their backing arrays, so a long sharded run puts
+// no pressure on the garbage collector.
+func TestShardExchangeNoAllocs(t *testing.T) {
+	h := newExchangeHarness(8)
+	for i := 0; i < 8; i++ {
+		h.epoch() // reach steady state: all backing arrays at final size
+	}
+	if allocs := testing.AllocsPerRun(100, h.epoch); allocs != 0 {
+		t.Errorf("steady-state exchange epoch allocates %.1f times, want 0", allocs)
+	}
+}

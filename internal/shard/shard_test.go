@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"netcrafter/internal/sim"
+)
+
+func TestPlanForSerialCounts(t *testing.T) {
+	for _, shards := range []int{-1, 0, 1} {
+		if p := PlanFor(4, shards); p != nil {
+			t.Errorf("PlanFor(4, %d) = %+v, want nil (serial)", shards, p)
+		}
+	}
+	// One cluster cannot be partitioned at all.
+	if p := PlanFor(1, 8); p != nil {
+		t.Errorf("PlanFor(1, 8) = %+v, want nil", p)
+	}
+}
+
+func TestPlanForClampsToClusters(t *testing.T) {
+	p := PlanFor(4, 16)
+	if p == nil || p.N != 4 {
+		t.Fatalf("PlanFor(4, 16) = %+v, want N=4", p)
+	}
+	for c := 0; c < 4; c++ {
+		if p.Of(c) != c {
+			t.Errorf("clamped plan: cluster %d on shard %d, want %d", c, p.Of(c), c)
+		}
+	}
+}
+
+func TestPlanForContiguousAndComplete(t *testing.T) {
+	for _, tc := range []struct{ clusters, shards int }{
+		{2, 2}, {4, 2}, {4, 3}, {8, 4}, {5, 2}, {7, 3},
+	} {
+		p := PlanFor(tc.clusters, tc.shards)
+		if p == nil || p.N != tc.shards {
+			t.Fatalf("PlanFor(%d, %d) = %+v", tc.clusters, tc.shards, p)
+		}
+		seen := make([]int, p.N)
+		prev := 0
+		for c := 0; c < tc.clusters; c++ {
+			sh := p.Of(c)
+			if sh < prev {
+				t.Errorf("PlanFor(%d, %d): shard assignment not monotonic at cluster %d", tc.clusters, tc.shards, c)
+			}
+			if sh < 0 || sh >= p.N {
+				t.Fatalf("PlanFor(%d, %d): cluster %d on shard %d of %d", tc.clusters, tc.shards, c, sh, p.N)
+			}
+			prev = sh
+			seen[sh]++
+		}
+		for sh, n := range seen {
+			if n == 0 {
+				t.Errorf("PlanFor(%d, %d): shard %d owns no cluster", tc.clusters, tc.shards, sh)
+			}
+		}
+	}
+}
+
+func TestPlanOfOutOfRange(t *testing.T) {
+	p := PlanFor(4, 2)
+	if got := p.Of(-1); got != 0 {
+		t.Errorf("backbone (cluster -1) on shard %d, want 0", got)
+	}
+	if got := p.Of(99); got != p.N-1 {
+		t.Errorf("out-of-range cluster on shard %d, want %d", got, p.N-1)
+	}
+}
+
+// countdown is a hot ticker that is busy for the first n cycles.
+type countdown struct{ left int }
+
+func (c *countdown) Tick(now sim.Cycle) bool {
+	if c.left == 0 {
+		return false
+	}
+	c.left--
+	return true
+}
+
+func TestCoordinatorRunUntilIdle(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	cds := []*countdown{{left: 5}, {left: 9}}
+	for i, e := range engines {
+		e.Register("cd", cds[i])
+	}
+	c := NewCoordinator(engines)
+	idle := []func() bool{
+		func() bool { return cds[0].left == 0 },
+		func() bool { return cds[1].left == 0 },
+	}
+	ret, err := c.RunUntil(idle, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slower shard is busy through cycle 9; both clocks must agree.
+	if ret != 9 {
+		t.Errorf("RunUntil returned cycle %d, want 9", ret)
+	}
+	for i, e := range engines {
+		if e.Now() != ret {
+			t.Errorf("shard %d clock %d, coordinator returned %d", i, e.Now(), ret)
+		}
+	}
+}
+
+// TestCoordinatorLimitErrorMatchesSerial pins error-text compatibility:
+// callers match on the serial engine's error strings.
+func TestCoordinatorLimitErrorMatchesSerial(t *testing.T) {
+	serial := sim.NewEngine()
+	serial.Register("cd", &countdown{left: 1 << 30})
+	_, serialErr := serial.RunUntil(func() bool { return false }, 50)
+	if serialErr == nil {
+		t.Fatal("serial engine did not hit the limit")
+	}
+
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	for _, e := range engines {
+		e.Register("cd", &countdown{left: 1 << 30})
+	}
+	c := NewCoordinator(engines)
+	never := []func() bool{func() bool { return false }, func() bool { return false }}
+	_, err := c.RunUntil(never, 50)
+	if err == nil || err.Error() != serialErr.Error() {
+		t.Errorf("limit error %q, serial says %q", err, serialErr)
+	}
+}
+
+func TestCoordinatorRejectsPredicateMismatch(t *testing.T) {
+	c := NewCoordinator([]*sim.Engine{sim.NewEngine(), sim.NewEngine()})
+	if _, err := c.RunUntil([]func() bool{func() bool { return true }}, 10); err == nil ||
+		!strings.Contains(err.Error(), "idle predicates") {
+		t.Fatalf("predicate-count mismatch accepted: %v", err)
+	}
+}
+
+// TestBarrierOrdersWrites hammers the sense-reversing barrier: every
+// worker increments a plain (non-atomic) counter slot between waits and
+// reads all the others after; the barrier's happens-before must make
+// every round's writes visible (run under -race this is also the data
+// race check the epoch protocol relies on).
+func TestBarrierOrdersWrites(t *testing.T) {
+	const workers, rounds = 4, 500
+	bar := &barrier{n: workers}
+	counts := make([]int, workers*8) // padded slots, one per worker
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				counts[w*8] = r
+				bar.wait()
+				for o := 0; o < workers; o++ {
+					if got := counts[o*8]; got != r {
+						t.Errorf("round %d: worker %d sees slot %d at %d", r, w, o, got)
+						return
+					}
+				}
+				bar.wait()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

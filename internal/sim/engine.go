@@ -353,6 +353,28 @@ func (e *Engine) nextDue() Cycle {
 	return CycleMax
 }
 
+// NextDue returns the earliest cycle at which any registered component
+// could act (see nextDue): now+1 while a hint-less ticker is
+// registered, now when anything was armed during the round that just
+// ran, the heap minimum otherwise, CycleMax when fully parked. The
+// shard coordinator combines every shard's NextDue (plus in-flight
+// boundary deliveries) to reproduce RunUntil's idle-skip decisions
+// globally.
+func (e *Engine) NextDue() Cycle { return e.nextDue() }
+
+// SkipTo advances the clock to cycle at without processing any rounds
+// — the idle-skip primitive RunUntil applies after a fully idle round,
+// exported so the shard coordinator can apply a globally agreed skip
+// to every shard engine. Skipped cycles do not count as rounds, which
+// is exactly why the skip decision must be global: per-shard Rounds()
+// counters stay equal to the serial engine's only if every shard skips
+// the same cycles. SkipTo never moves time backwards.
+func (e *Engine) SkipTo(at Cycle) {
+	if at > e.now {
+		e.now = at
+	}
+}
+
 // RunUntil advances time until done() reports true or the cycle limit
 // is reached. It returns the cycle at which it stopped and an error if
 // the limit was hit first. Idle stretches are skipped by jumping
