@@ -10,10 +10,10 @@ GO ?= go
 
 .PHONY: ci fmt vet build test race bench bench-micro bench-micro-smoke \
 	fuzz-smoke topo-dot docs-check arch-dot sweep-smoke sweep-small \
-	staticcheck timeline-smoke comm-smoke flow-smoke shard-smoke
+	staticcheck timeline-smoke comm-smoke flow-smoke shard-smoke scale-smoke
 
 ci: fmt vet staticcheck build race fuzz-smoke docs-check bench-micro-smoke \
-	sweep-smoke timeline-smoke comm-smoke flow-smoke shard-smoke
+	sweep-smoke timeline-smoke comm-smoke flow-smoke shard-smoke scale-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -203,6 +203,22 @@ shard-smoke:
 		echo "shard-smoke: observability gate let -heatmap run sharded"; exit 1; \
 	else grep -q 'serial engine' /tmp/netcrafter-shard-smoke.err || \
 		{ echo "shard-smoke: gate error does not name the serial engine"; exit 1; }; fi
+
+# Race-instrumented smoke of the scale-out fabrics: build the 64-GPU
+# fat-tree, check the multi-level placement invariant (the spliced
+# controller count equals the fabric's bandwidth taper-point count),
+# and run one flow-backend collective cell on it end to end.
+scale-smoke:
+	$(GO) run -race ./cmd/netcrafter-sim -topo fattree-64 -topo-info \
+		> /tmp/netcrafter-scale-smoke.txt
+	@taper=$$(awk '/^taper-points:/ {print $$2}' /tmp/netcrafter-scale-smoke.txt); \
+	ctl=$$(awk '/^controllers:/ {print $$2}' /tmp/netcrafter-scale-smoke.txt); \
+	[ -n "$$taper" ] && [ "$$taper" = "$$ctl" ] || \
+		{ echo "scale-smoke: $$ctl controllers for $$taper taper points"; exit 1; }
+	$(GO) run -race ./cmd/netcrafter-sim -backend flow -comm ring-allreduce \
+		-scale tiny -topo fattree-64 > /tmp/netcrafter-scale-flow.txt
+	@grep -q 'busbw=' /tmp/netcrafter-scale-flow.txt || \
+		{ echo "scale-smoke: no bus bandwidth reported on the fat-tree"; exit 1; }
 
 # The committed perf trajectory: the full small-scale sweep, every
 # experiment, writing BENCH_small.json (resumable; see EXPERIMENTS.md).

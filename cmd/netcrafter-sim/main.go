@@ -5,7 +5,7 @@
 //
 //	netcrafter-sim [-workload GUPS] [-config baseline|ideal|netcrafter|sector]
 //	               [-scale tiny|small|medium] [-inter 16] [-intra 128]
-//	               [-topo preset|spec.json] [-topo-list] [-dot FILE]
+//	               [-topo preset|spec.json] [-topo-list] [-topo-info] [-dot FILE]
 //	               [-pool 32] [-flit 16] [-seed 1] [-v]
 //	               [-trace FILE] [-spans FILE] [-metrics FILE]
 //	               [-timeline FILE] [-heatmap] [-profile-components]
@@ -48,6 +48,11 @@
 // (see -topo-list) or a JSON topology spec file; link bandwidths then
 // come from the graph, so -inter/-intra do not apply. -dot renders the
 // selected topology as Graphviz dot to FILE ("-" = stdout) and exits.
+// -topo-info prints the fabric's shape — device/switch/link/cluster
+// counts, boundary links, bandwidth taper points — then builds the
+// system and reports the spliced controller and guarded-link counts,
+// and exits; on a correct build, controllers always equals
+// taper-points (the scale-smoke CI check greps exactly that).
 //
 // -spans streams one JSON line per finished packet span to FILE and
 // prints the per-stage latency breakdown table; -metrics writes a
@@ -98,6 +103,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		intra  = fs.Int("intra", 0, "override intra-cluster GB/s (ignored with -topo)")
 		topoF  = fs.String("topo", "", "topology preset name or JSON spec file (see -topo-list)")
 		topoL  = fs.Bool("topo-list", false, "list topology presets and exit")
+		topoI  = fs.Bool("topo-info", false, "print the -topo fabric's shape (nodes, links, taper points, controllers) and exit")
 		dotF   = fs.String("dot", "", "write the -topo graph as Graphviz dot to this file ('-' = stdout) and exit")
 		pool   = fs.Int("pool", -1, "override Flit Pooling window (cycles)")
 		flitSz = fs.Int("flit", 0, "override flit size in bytes (8 or 16)")
@@ -152,6 +158,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		cfg = cfg.WithTopology(g)
+	}
+	if *topoI {
+		if cfg.Topo == nil {
+			return fail(fmt.Errorf("-topo-info needs -topo"))
+		}
+		return runTopoInfo(cfg, stdout, stderr)
 	}
 	if *dotF != "" {
 		if cfg.Topo == nil {
@@ -359,6 +371,47 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	return 0
+}
+
+// runTopoInfo is the -topo-info path: report the fabric's static shape
+// off the graph, then build the system and report what the build
+// actually spliced in. The two views agree by construction —
+// controllers == taper-points on every valid fabric — which is what
+// the scale-smoke CI target checks.
+func runTopoInfo(cfg netcrafter.Config, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "netcrafter-sim:", err)
+		return 1
+	}
+	g := cfg.Topo
+	taper, err := netcrafter.TopologyTaperPoints(g)
+	if err != nil {
+		return fail(err)
+	}
+	boundary := 0
+	for _, l := range g.Links {
+		if g.Boundary(l) {
+			boundary++
+		}
+	}
+	// The splice structure is backend- and shard-independent; build the
+	// plain serial system to count it.
+	cfg.Backend = netcrafter.BackendCycle
+	cfg.Shards = 0
+	sys, err := netcrafter.BuildSystem(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "devices: %d\n", len(g.Devices))
+	fmt.Fprintf(stdout, "switches: %d\n", len(g.Switches))
+	fmt.Fprintf(stdout, "links: %d\n", len(g.Links))
+	fmt.Fprintf(stdout, "clusters: %d\n", g.NumClusters())
+	fmt.Fprintf(stdout, "boundary-links: %d\n", boundary)
+	fmt.Fprintf(stdout, "taper-points: %d\n", taper)
+	fmt.Fprintf(stdout, "controllers: %d\n", len(sys.Controllers))
+	fmt.Fprintf(stdout, "inter-links: %d\n", len(sys.InterLinks))
+	fmt.Fprintf(stdout, "taper-links: %d\n", len(sys.TaperLinks))
 	return 0
 }
 

@@ -77,6 +77,12 @@ func TestRunFlagMatrix(t *testing.T) {
 		{name: "flow heatmap rejected", args: []string{"-backend", "flow", "-comm", "ring-allreduce", "-scale", "tiny", "-heatmap"}, exit: 1,
 			wantErr: []string{"-backend cycle"}},
 		{name: "bad backend", args: []string{"-backend", "bogus"}, exit: 1, wantErr: []string{"unknown backend"}},
+		{name: "topo info fattree", args: []string{"-topo", "fattree-64", "-topo-info"}, exit: 0,
+			wantOut: []string{"devices: 64", "taper-points: 32", "controllers: 32", "inter-links: 16", "taper-links: 16"}},
+		{name: "topo info needs topo", args: []string{"-topo-info"}, exit: 1,
+			wantErr: []string{"-topo-info needs -topo"}},
+		{name: "topo preset did-you-mean", args: []string{"-topo", "fattree-65", "-topo-info"}, exit: 1,
+			wantErr: []string{`did you mean "fattree-64"?`}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

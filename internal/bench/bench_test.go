@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "fig22",
 		"ext-trimwrites", "ext-scaling", "ext-placement", "ext-toposcale", "ext-collective",
-		"ext-calibrate", "ext-shard",
+		"ext-calibrate", "ext-shard", "ext-scale",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

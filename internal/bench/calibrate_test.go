@@ -92,8 +92,8 @@ func TestFlowBackendParallelDeterminism(t *testing.T) {
 // cycle-only ones with an error naming what it can run.
 func TestFlowBackendFidelityGate(t *testing.T) {
 	ids := IDsFor(cluster.BackendFlow)
-	want := []string{"ext-collective"}
-	if len(ids) != len(want) || ids[0] != want[0] {
+	want := []string{"ext-collective", "ext-scale"}
+	if len(ids) != len(want) || ids[0] != want[0] || ids[1] != want[1] {
 		t.Fatalf("IDsFor(flow) = %v, want %v", ids, want)
 	}
 	if got := IDsFor(cluster.BackendCycle); len(got) != len(IDs()) {

@@ -25,11 +25,14 @@ func init() {
 }
 
 // commCell is one (program, scale, backend) simulation of the sweep.
+// cfg, when set, replaces the baseline-fabric configuration — the
+// scale-out sweep (ext-scale) builds one per fabric preset.
 type commCell struct {
 	label   string
 	prog    string
 	sc      comm.Scale
 	backend cluster.Backend
+	cfg     *cluster.Config
 }
 
 // commScaleFor derives the communication scale from the bench scale:
@@ -116,6 +119,9 @@ func runCommCells(opt Options, cells []commCell) ([]*comm.Result, error) {
 				c := cells[i]
 				t0 := time.Now()
 				cfg := cluster.Baseline()
+				if c.cfg != nil {
+					cfg = *c.cfg
+				}
 				cfg.Backend = c.backend
 				r, err := cluster.RunCommOne(cfg, c.prog, c.sc, opt.Limit)
 				out[i] = cellOut{res: r, err: err}

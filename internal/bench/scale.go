@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"netcrafter/internal/cluster"
+	"netcrafter/internal/topo"
+)
+
+// ext-scale sweeps the scale-out fabrics — k-ary fat-trees and
+// dragonflies from 64 to 512 GPUs — with a ring all-reduce per fabric
+// (the canonical training collective) plus all-to-all at the two
+// smallest sizes (its flow count grows quadratically). Large cells run
+// on the analytic flow backend, which is what makes 512 GPUs
+// tractable; when the sweep itself runs cycle-level, the 64-GPU
+// fabrics also get cycle spot cells, bounding the flow model's error
+// right where both backends can afford to meet. Every fabric is built
+// with NetCrafter enabled, so the cycle spot cells drive the
+// multi-level controller placement (one controller per bandwidth
+// taper point) end to end.
+
+func init() {
+	register(Experiment{ID: "ext-scale", Title: "Scale-out fabrics: fat-tree and dragonfly at 64-512 GPUs", Fidelity: FidelityAny, Run: extScale})
+}
+
+// scaleFabrics are the swept presets, smallest first so progress output
+// front-loads the quick cells.
+var scaleFabrics = []struct {
+	label  string
+	preset string
+	gpus   int
+}{
+	{"ft64", "fattree-64", 64},
+	{"df64", "dragonfly-64", 64},
+	{"ft128", "fattree-128", 128},
+	{"df128", "dragonfly-128", 128},
+	{"ft256", "fattree-256", 256},
+	{"df256", "dragonfly-256", 256},
+	{"ft512", "fattree-512", 512},
+	{"df512", "dragonfly-512", 512},
+}
+
+// scaleCells expands the fabric sweep; gpus[i] is cell i's endpoint
+// count. All cells carry their own NetCrafter configuration over the
+// preset topology; backends are pinned per cell (flow for the sweep,
+// cycle for the spot checks) rather than inherited from the run.
+func scaleCells(opt Options) (cells []commCell, gpus []int, err error) {
+	base := commScaleFor(opt)
+	add := func(c commCell, n int) {
+		cells = append(cells, c)
+		gpus = append(gpus, n)
+	}
+	for _, f := range scaleFabrics {
+		g, err := topo.Preset(f.preset)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := cluster.WithNetCrafter().WithTopology(g)
+		add(commCell{
+			label:   f.label + "/ring",
+			prog:    "ring-allreduce",
+			sc:      base,
+			backend: cluster.BackendFlow,
+			cfg:     &cfg,
+		}, f.gpus)
+		// All-to-all has GPUs^2 flows in flight at once; past 128
+		// endpoints the max-min solve dominates the sweep, so the
+		// quadratic pattern stops where the flow backend stays cheap.
+		if f.gpus <= 128 {
+			add(commCell{
+				label:   f.label + "/a2a",
+				prog:    "alltoall",
+				sc:      base,
+				backend: cluster.BackendFlow,
+				cfg:     &cfg,
+			}, f.gpus)
+		}
+		// Cycle spot cells at the smallest size, only when the sweep is
+		// already paying for the cycle engine: the flow/cycle makespan
+		// ratio here is the calibration anchor for the larger
+		// flow-only cells.
+		if f.gpus == 64 && opt.Backend.Norm() == cluster.BackendCycle {
+			add(commCell{
+				label:   f.label + "/ring/cycle",
+				prog:    "ring-allreduce",
+				sc:      base,
+				backend: cluster.BackendCycle,
+				cfg:     &cfg,
+			}, f.gpus)
+		}
+	}
+	return cells, gpus, nil
+}
+
+// extScale reports one row per (fabric, program, backend) cell:
+// endpoint count, makespan, megabytes moved and achieved bus
+// bandwidth.
+func extScale(opt Options) (*Report, error) {
+	rep := &Report{ID: "ext-scale", Title: "Scale-out fabric sweep (flow backend, cycle spot cells)",
+		Columns: []string{"gpus", "cycles", "mbytes", "gbps"},
+		Notes:   "extension: ring bus bandwidth holds as fat-trees scale (tapered up-links shared by steady neighbor flows); dragonfly global links bottleneck the quadratic all-to-all first"}
+	cells, gpus, err := scaleCells(opt)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := runCommCells(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r := rs[i]
+		rep.AddRow(c.label,
+			float64(gpus[i]),
+			float64(r.Cycles),
+			float64(r.BytesMoved)/(1<<20),
+			r.BusGBps())
+	}
+	return rep, nil
+}

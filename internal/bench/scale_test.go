@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"netcrafter/internal/cluster"
+)
+
+// TestExtScaleTiny smokes the fabric sweep at the tiny scale: every
+// flow cell and both 64-GPU cycle spot cells complete, all rows carry
+// bandwidth, and the cycle spot makespan exceeds its flow twin (the
+// analytic model omits per-hop arbitration, so it is strictly
+// optimistic here).
+func TestExtScaleTiny(t *testing.T) {
+	opt := tinyOpts()
+	rep, err := Run("ext-scale", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, gpus, err := scaleCells(opt.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(cells) {
+		t.Fatalf("report has %d rows for %d cells", len(rep.Rows), len(cells))
+	}
+	spots := 0
+	for i, row := range rep.Rows {
+		if g, _ := rep.Value(row.Label, "gpus"); int(g) != gpus[i] {
+			t.Errorf("%s: gpus column %v, want %d", row.Label, g, gpus[i])
+		}
+		if v, _ := rep.Value(row.Label, "gbps"); v <= 0 {
+			t.Errorf("%s: no bandwidth", row.Label)
+		}
+		if strings.HasSuffix(row.Label, "/cycle") {
+			spots++
+			flowCycles, _ := rep.Value(strings.TrimSuffix(row.Label, "/cycle"), "cycles")
+			spotCycles, _ := rep.Value(row.Label, "cycles")
+			if spotCycles <= flowCycles {
+				t.Errorf("%s: cycle spot (%v) not slower than flow twin (%v)", row.Label, spotCycles, flowCycles)
+			}
+		}
+	}
+	if spots != 2 {
+		t.Errorf("%d cycle spot cells, want 2 (ft64, df64)", spots)
+	}
+}
+
+// TestExtScaleFlowBackendDropsSpots pins the backend gating: a sweep
+// already running on the flow backend has no cycle engine to anchor
+// against, so the spot cells disappear instead of silently running
+// cycle-level work.
+func TestExtScaleFlowBackendDropsSpots(t *testing.T) {
+	opt := tinyOpts().withDefaults()
+	opt.Backend = cluster.BackendFlow
+	cells, _, err := scaleCells(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.backend != cluster.BackendFlow {
+			t.Errorf("cell %s runs backend %q under a flow sweep", c.label, c.backend)
+		}
+	}
+	cycleCells, _, err := scaleCells(Options{Backend: cluster.BackendCycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cycleCells) != len(cells)+2 {
+		t.Errorf("cycle sweep has %d cells, flow sweep %d: want exactly 2 spot cells dropped", len(cycleCells), len(cells))
+	}
+}

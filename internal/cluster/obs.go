@@ -66,6 +66,18 @@ func (s *System) AttachObs(reg *obs.Registry, spans *obs.SpanRecorder, tl *timel
 		reg.GaugeFunc(p+"active_util_a2b", func() float64 { return l.AtoB.ActiveUtilization() })
 		reg.GaugeFunc(p+"active_util_b2a", func() float64 { return l.BtoA.ActiveUtilization() })
 	}
+	// Within-cluster taper segments (fat-tree up/down links and the
+	// like) get the same per-direction utilization gauges under their
+	// own taper<i> names; empty on boundary-only fabrics, so the seed
+	// presets' metric namespaces are unchanged.
+	for i, l := range s.TaperLinks {
+		l := l
+		p := fmt.Sprintf("taper%d.", i)
+		reg.GaugeFunc(p+"util_a2b", func() float64 { return l.AtoB.Utilization(s.Engine.Now()) })
+		reg.GaugeFunc(p+"util_b2a", func() float64 { return l.BtoA.Utilization(s.Engine.Now()) })
+		reg.GaugeFunc(p+"active_util_a2b", func() float64 { return l.AtoB.ActiveUtilization() })
+		reg.GaugeFunc(p+"active_util_b2a", func() float64 { return l.BtoA.ActiveUtilization() })
+	}
 }
 
 // attachTimeline wires the event timeline (see AttachObs). A nil
@@ -92,6 +104,10 @@ func (s *System) attachTimeline(tl *timeline.Timeline) {
 	for i, l := range s.InterLinks {
 		probe(l.A.In, fmt.Sprintf("inter%d.a.in", i))
 		probe(l.B.In, fmt.Sprintf("inter%d.b.in", i))
+	}
+	for i, l := range s.TaperLinks {
+		probe(l.A.In, fmt.Sprintf("taper%d.a.in", i))
+		probe(l.B.In, fmt.Sprintf("taper%d.b.in", i))
 	}
 	for _, tb := range s.Tables {
 		tb.SetTimeline(tl)

@@ -203,13 +203,20 @@ type System struct {
 	Engines []*sim.Engine
 	Scheds  []*sim.Scheduler
 	GPUs    []*gpu.GPU
-	// Controllers holds the NetCrafter controllers, one per clustered
-	// endpoint of every cluster-boundary link, in boundary-link order.
+	// Controllers holds the NetCrafter controllers, one per taper point
+	// of the fabric (topo.Placement): every clustered endpoint of every
+	// cluster-boundary link plus every switch egress whose rate tapers
+	// below the switch's fastest tier, in link-declaration order.
 	Controllers []*core.Controller
 	// InterLinks are the lower-bandwidth links between clusters (the
 	// core segment of every boundary link, controller-to-controller or
 	// controller-to-backbone).
 	InterLinks []*network.Link
+	// TaperLinks are the controller-guarded core segments that do NOT
+	// cross a cluster boundary — fat-tree intra-pod up/down links and
+	// other within-cluster bandwidth tapers. Empty on fabrics whose only
+	// tapers are the cluster boundaries (all the seed presets).
+	TaperLinks []*network.Link
 	// Links holds every link of the fabric (GPU attachments, intra-
 	// cluster, controller-local segments and the inter-cluster links) in
 	// creation order — the row set of the timeline's congestion heatmap.
@@ -277,11 +284,14 @@ func Build(cfg Config) (*System, error) {
 
 // build instantiates a validated graph: GPUs for devices, crossbar
 // switches, links with per-direction bandwidth, a NetCrafter controller
-// spliced into every clustered endpoint of every boundary link, and
-// BFS shortest-path routing tables. Components are created and
-// registered in graph declaration order — registration order is part of
-// the simulated machine's definition, and for the default FrontierNode
-// graph it reproduces the original hand-wired system exactly.
+// spliced at every taper point the placement rule identifies (every
+// clustered endpoint of every boundary link, plus every switch-switch
+// egress whose rate tapers below the switch's fastest tier — see
+// topo.Placement), and indexed BFS shortest-path routing tables.
+// Components are created and registered in graph declaration order —
+// registration order is part of the simulated machine's definition, and
+// for the default FrontierNode graph it reproduces the original
+// hand-wired system exactly.
 func build(cfg Config, g *topo.Graph) (*System, error) {
 	s := &System{
 		Topo:      g,
@@ -290,12 +300,17 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		alloc:     &frameAlloc{next: make([]uint64, len(g.Devices))},
 		rng:       sim.NewRand(cfg.Seed),
 	}
-	// Partition clusters across shards (nil plan = serial). Each shard
-	// gets its own engine and scheduler; every component registers in
-	// its owning shard's engine, in the serial registration order
-	// filtered to ownership, so each shard's tick order is the serial
-	// order restricted to its components.
-	plan := shard.PlanFor(s.nClusters, cfg.Shards)
+	// Partition clusters across shards (nil plan = serial), weighting
+	// clusters by their device count so uneven fabrics split by GPU
+	// load. Each shard gets its own engine and scheduler; every
+	// component registers in its owning shard's engine, in the serial
+	// registration order filtered to ownership, so each shard's tick
+	// order is the serial order restricted to its components.
+	clusterWeights := make([]int, s.nClusters)
+	for _, d := range g.Devices {
+		clusterWeights[d.Cluster]++
+	}
+	plan := shard.PlanForWeights(clusterWeights, cfg.Shards)
 	nShards := 1
 	if plan != nil {
 		nShards = plan.N
@@ -394,18 +409,24 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 	// ctlShard[i] is the owning shard of s.Controllers[i] (the shard of
 	// its cluster), for the deterministic registration pass below.
 	var ctlShard []int
-	// splice inserts a NetCrafter controller between a cluster switch
-	// and the boundary link toward far: an intra-speed segment from the
-	// switch to the controller's local side, the controller ejecting at
-	// the boundary link's egress rate on its remote side.
+	// splice inserts a NetCrafter controller between a switch and the
+	// guarded link toward far: an intra-speed segment from the switch to
+	// the controller's local side, the controller ejecting at the
+	// guarded link's egress rate on its remote side. Controllers of
+	// backbone switches (taper points inside the inter-cluster fabric)
+	// are named ncx, ncx.1, ...; clustered ones nc<cluster>[.k].
 	splice := func(swName string, cluster int, far string, egressRate int, lat sim.Cycle, lbw int) *network.Port {
 		sw := sws[swName]
 		k := ctlPerCluster[cluster]
 		ctlPerCluster[cluster]++
-		ctlName := fmt.Sprintf("nc%d", cluster)
+		base := fmt.Sprintf("nc%d", cluster)
+		if cluster == topo.Backbone {
+			base = "ncx"
+		}
+		ctlName := base
 		portName := swName + ".nc"
 		if k > 0 {
-			ctlName = fmt.Sprintf("nc%d.%d", cluster, k)
+			ctlName = fmt.Sprintf("%s.%d", base, k)
 			portName = fmt.Sprintf("%s.nc%d", swName, k)
 		}
 		cc := ncCfg
@@ -428,9 +449,16 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			nBoundary++
 		}
 	}
+	// Controller placement: the taper-point rule (topo.Placement). On
+	// fabrics whose only switch-switch links are boundary links this is
+	// exactly the seed's clustered-boundary-endpoint rule.
+	pl, err := g.ControllerPlacement()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
 
 	interIdx := 0
-	for _, ln := range g.Links {
+	for li, ln := range g.Links {
 		ab, ba := ln.RateAB(), ln.RateBA()
 		aDev, aIsDev := devIdx[ln.A]
 		bDev, bIsDev := devIdx[ln.B]
@@ -452,36 +480,47 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 			link := network.NewAsymLink("l."+dev, ends[0], ends[1], ab, ba, ln.Latency)
 			s.Links = append(s.Links, link)
 			s.Engines[shardOf(g.Devices[gi].Cluster)].Register(link.Name, link)
-		case !g.Boundary(ln):
-			// Intra-cluster or backbone-internal switch-switch link
-			// (validation guarantees both endpoints share a cluster, or
-			// both are backbone — one owner either way).
+		case !pl.AtA[li] && !pl.AtB[li]:
+			// Unguarded switch-switch link: intra-cluster or backbone-
+			// internal at the switch's full tier rate (a boundary link
+			// always has at least one guarded clustered endpoint, so it
+			// never lands here — one owner either way).
 			pa := addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
 			pb := addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
 			link := network.NewAsymLink("l."+ln.A+"-"+ln.B, pa, pb, ab, ba, ln.Latency)
 			s.Links = append(s.Links, link)
 			s.Engines[shardOf(swCluster[ln.A])].Register(link.Name, link)
 		default:
-			// Cluster boundary: controllers guard each clustered
-			// endpoint; a backbone endpoint takes the link raw.
+			// A taper point on at least one side: controllers guard the
+			// tapered endpoints; an unguarded endpoint (backbone side of
+			// a boundary link, the fast side of an asymmetric taper)
+			// takes the core segment raw.
 			var endA, endB *network.Port
-			if ca := swCluster[ln.A]; ca != topo.Backbone {
-				endA = splice(ln.A, ca, ln.B, ab, ln.Latency, ln.LocalBW)
+			if pl.AtA[li] {
+				endA = splice(ln.A, swCluster[ln.A], ln.B, ab, ln.Latency, ln.LocalBW)
 			} else {
 				endA = addPort(sws[ln.A], ln.A+"."+ln.B, ln.B, max(ab, ba))
 			}
-			if cb := swCluster[ln.B]; cb != topo.Backbone {
-				endB = splice(ln.B, cb, ln.A, ba, ln.Latency, ln.LocalBW)
+			if pl.AtB[li] {
+				endB = splice(ln.B, swCluster[ln.B], ln.A, ba, ln.Latency, ln.LocalBW)
 			} else {
 				endB = addPort(sws[ln.B], ln.B+"."+ln.A, ln.A, max(ab, ba))
 			}
-			name := "l.inter"
-			if nBoundary > 1 {
-				name = fmt.Sprintf("l.inter%d", interIdx)
+			boundary := g.Boundary(ln)
+			name := "l." + ln.A + "-" + ln.B
+			if boundary {
+				name = "l.inter"
+				if nBoundary > 1 {
+					name = fmt.Sprintf("l.inter%d", interIdx)
+				}
+				interIdx++
 			}
-			interIdx++
 			link := network.NewAsymLink(name, endA, endB, ab, ba, ln.Latency)
-			s.InterLinks = append(s.InterLinks, link)
+			if boundary {
+				s.InterLinks = append(s.InterLinks, link)
+			} else {
+				s.TaperLinks = append(s.TaperLinks, link)
+			}
 			s.Links = append(s.Links, link)
 			shA := shardOf(swCluster[ln.A])
 			shB := shardOf(swCluster[ln.B])
@@ -502,20 +541,22 @@ func build(cfg Config, g *topo.Graph) (*System, error) {
 		}
 	}
 
-	// Deterministic shortest-path routing tables: every switch learns
-	// the egress port toward every device. AddRoute surfaces duplicate
-	// device→port conflicts as errors instead of silently overwriting.
-	hops, err := g.NextHops()
+	// Deterministic shortest-path routing tables from the indexed
+	// routing core: every switch learns the egress port toward every
+	// device, without materializing the string-map view. AddRoute
+	// surfaces duplicate device→port conflicts as errors instead of
+	// silently overwriting.
+	rt, err := g.Routes()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	for _, sn := range g.Switches {
+	for si, sn := range g.Switches {
 		sw := sws[sn.Name]
-		for di, d := range g.Devices {
-			nh := hops[sn.Name][d.Name]
+		for di := range g.Devices {
+			nh := rt.NextHopName(si, di)
 			port, ok := portOf[sn.Name][nh]
 			if !ok {
-				return nil, fmt.Errorf("cluster: switch %s has no port toward %s (route to %s)", sn.Name, nh, d.Name)
+				return nil, fmt.Errorf("cluster: switch %s has no port toward %s (route to %s)", sn.Name, nh, g.Devices[di].Name)
 			}
 			if err := sw.AddRoute(flit.DeviceID(di), port); err != nil {
 				return nil, fmt.Errorf("cluster: %w", err)

@@ -87,6 +87,57 @@ func PlanFor(nClusters, shards int) *Plan {
 	return p
 }
 
+// PlanForWeights derives the partition for clusters with the given
+// per-cluster weights (cluster.Build passes device counts, so uneven
+// fabrics split by GPU load, not cluster count): contiguous blocks cut
+// where the weight prefix crosses each shard's even share. With equal
+// weights it reduces exactly to PlanFor — the bit-exactness pin of the
+// pre-existing presets. Shard indices left empty by heavily skewed
+// weights are compacted away, so every shard of the returned plan owns
+// at least one cluster; a plan that degenerates to one shard returns
+// nil (serial).
+func PlanForWeights(weights []int, shards int) *Plan {
+	nClusters := len(weights)
+	if shards > nClusters {
+		shards = nClusters
+	}
+	if shards <= 1 {
+		return nil
+	}
+	total := 0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return PlanFor(nClusters, shards)
+	}
+	p := &Plan{byCluster: make([]int, nClusters)}
+	prefix := 0
+	for c, w := range weights {
+		p.byCluster[c] = prefix * shards / total
+		if w > 0 {
+			prefix += w
+		}
+	}
+	// Compact: remap the (non-decreasing) raw shard indices onto
+	// 0..N-1 with no gaps.
+	used, last := 0, -1
+	for c, sh := range p.byCluster {
+		if sh != last {
+			last = sh
+			used++
+		}
+		p.byCluster[c] = used - 1
+	}
+	p.N = used
+	if p.N <= 1 {
+		return nil
+	}
+	return p
+}
+
 // Of returns the shard owning the given cluster. Backbone switches
 // (cluster < 0, see topo.Backbone) belong to shard 0.
 func (p *Plan) Of(cluster int) int {

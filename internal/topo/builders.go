@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"netcrafter/internal/names"
 	"netcrafter/internal/sim"
 )
 
@@ -131,6 +132,19 @@ var presets = map[string]func() *Graph{
 	"fc-8x4":       func() *Graph { return FullyConnected(4, 2, 8, 1, 1) },
 	"asym-4x2":     func() *Graph { return FrontierNodeAsym(4, 2, 8, 2, 1, 1) },
 	"uniform-4x2":  func() *Graph { return FrontierNode(4, 2, 8, 8, 1) },
+
+	// Scale-out fabrics (see scaleout.go): rates taper upward — hosts
+	// at 8 flits/cycle, fat-tree edge->agg at 4 and agg->core at 2,
+	// dragonfly global channels at 2 — so the controller placement rule
+	// lands a controller at every up-link and global-link egress.
+	"fattree-64":    func() *Graph { return FatTree(4, 8, 8, 4, 2, 1) },
+	"fattree-128":   func() *Graph { return FatTree(8, 4, 8, 4, 2, 1) },
+	"fattree-256":   func() *Graph { return FatTree(8, 8, 8, 4, 2, 1) },
+	"fattree-512":   func() *Graph { return FatTree(8, 16, 8, 4, 2, 1) },
+	"dragonfly-64":  func() *Graph { return Dragonfly(4, 8, 2, 2, 8, 2, 1) },
+	"dragonfly-128": func() *Graph { return Dragonfly(4, 8, 2, 4, 8, 2, 1) },
+	"dragonfly-256": func() *Graph { return Dragonfly(8, 16, 2, 2, 8, 2, 1) },
+	"dragonfly-512": func() *Graph { return Dragonfly(8, 16, 2, 4, 8, 2, 1) },
 }
 
 // Presets lists the available preset names, sorted.
@@ -143,11 +157,12 @@ func Presets() []string {
 	return names
 }
 
-// Preset returns a named preset topology.
+// Preset returns a named preset topology; unknown names get a
+// did-you-mean error listing the valid presets.
 func Preset(name string) (*Graph, error) {
 	b, ok := presets[name]
 	if !ok {
-		return nil, errf("unknown preset %q (have %v)", name, Presets())
+		return nil, names.Unknown("topo: preset", name, Presets())
 	}
 	return b(), nil
 }

@@ -5,12 +5,26 @@ import (
 	"strings"
 )
 
+// dotLargeNodes is the node count above which DOT switches to the
+// large-graph rendering: per-device nodes and per-link labels would
+// swamp a 64-GPU fat-tree, let alone a 512-GPU one.
+const dotLargeNodes = 64
+
 // DOT renders the graph in Graphviz dot syntax: one subgraph per GPU
 // cluster, devices as boxes, switches as diamonds, links labeled with
 // bandwidth (both directions when asymmetric) and latency, boundary
 // links — where instantiation places NetCrafter controllers — drawn
 // bold. Pipe through `dot -Tsvg` to visualize (see `make topo-dot`).
+//
+// Past dotLargeNodes nodes the rendering changes gear: hierarchical
+// layout, each switch's attached devices collapsed into one summary
+// box, per-link labels dropped, and taper-point switches (where
+// instantiation splices controllers) filled orange. Small fabrics keep
+// the exact legacy output — bench manifests fingerprint it.
 func (g *Graph) DOT() string {
+	if len(g.Devices)+len(g.Switches) > dotLargeNodes {
+		return g.dotLarge()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "graph %q {\n", g.Name)
 	b.WriteString("  layout=neato;\n  overlap=false;\n  node [fontsize=10];\n")
@@ -51,4 +65,95 @@ func (g *Graph) DOT() string {
 	}
 	b.WriteString("}\n")
 	return b.String()
+}
+
+// dotLarge is the scale-out rendering (see DOT).
+func (g *Graph) dotLarge() string {
+	isDev := make(map[string]bool, len(g.Devices))
+	for _, d := range g.Devices {
+		isDev[d.Name] = true
+	}
+	// attached[s] counts switch s's devices; their summary box ranks
+	// beside s instead of drawing every GPU.
+	attached := map[string]int{}
+	for _, l := range g.Links {
+		switch {
+		case isDev[l.A]:
+			attached[l.B]++
+		case isDev[l.B]:
+			attached[l.A]++
+		}
+	}
+	guarded := map[string]bool{}
+	if p, err := g.ControllerPlacement(); err == nil {
+		for i, l := range g.Links {
+			if p.AtA[i] {
+				guarded[l.A] = true
+			}
+			if p.AtB[i] {
+				guarded[l.B] = true
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name)
+	fmt.Fprintf(&b, "  layout=dot;\n  rankdir=BT;\n  ranksep=1.1;\n  node [fontsize=9];\n")
+	fmt.Fprintf(&b, "  // %d GPUs, %d switches: devices collapsed per switch, labels dropped\n",
+		len(g.Devices), len(g.Switches))
+
+	swNode := func(indent, name string) string {
+		attrs := "shape=diamond"
+		if guarded[name] {
+			attrs += ", style=filled, fillcolor=orange"
+		}
+		out := fmt.Sprintf("%s%q [%s];\n", indent, name, attrs)
+		if n := attached[name]; n > 0 {
+			out += fmt.Sprintf("%s\"%s.gpus\" [shape=box, style=filled, fillcolor=lightblue, label=\"%d GPUs\"];\n",
+				indent, name, n)
+		}
+		return out
+	}
+	byCluster := map[int][]string{}
+	for _, s := range g.Switches {
+		byCluster[s.Cluster] = append(byCluster[s.Cluster], s.Name)
+	}
+	for c := 0; c < g.NumClusters(); c++ {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"cluster %d\";\n", c, c)
+		for _, name := range byCluster[c] {
+			b.WriteString(swNode("    ", name))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, name := range byCluster[Backbone] {
+		b.WriteString(swNode("  ", name))
+	}
+
+	for _, name := range switchNamesWithDevices(g, attached) {
+		fmt.Fprintf(&b, "  %q -- \"%s.gpus\";\n", name, name)
+	}
+	for _, l := range g.Links {
+		if isDev[l.A] || isDev[l.B] {
+			continue
+		}
+		if g.Boundary(l) {
+			fmt.Fprintf(&b, "  %q -- %q [style=bold, color=red];\n", l.A, l.B)
+		} else {
+			fmt.Fprintf(&b, "  %q -- %q;\n", l.A, l.B)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// switchNamesWithDevices lists the switches owning a device summary
+// box, in declaration order so the output is deterministic.
+func switchNamesWithDevices(g *Graph, attached map[string]int) []string {
+	out := make([]string, 0, len(attached))
+	for _, s := range g.Switches {
+		if attached[s.Name] > 0 {
+			out = append(out, s.Name)
+		}
+	}
+	return out
 }

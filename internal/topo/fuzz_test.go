@@ -51,6 +51,12 @@ func FuzzTopoParse(f *testing.F) {
 		if _, err := g.NextHops(); err != nil {
 			t.Fatalf("parsed graph fails routing: %v", err)
 		}
+		// Routing on an accepted graph must be loop-free: every next
+		// hop strictly decreases the distance to the destination.
+		checkRoutingSound(t, g)
+		if _, err := g.ControllerPlacement(); err != nil {
+			t.Fatalf("parsed graph fails placement: %v", err)
+		}
 		if g.DOT() == "" {
 			t.Fatal("empty DOT rendering")
 		}

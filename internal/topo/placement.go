@@ -1,0 +1,64 @@
+package topo
+
+// Placement records where system instantiation splices NetCrafter
+// controllers: for each link (parallel to Graph.Links), whether the A
+// and the B endpoint each get one. The rule generalizes the seed's
+// "controller at every cluster-boundary egress" to every bandwidth
+// taper point of a multi-level fabric:
+//
+//   - a clustered switch endpoint of a cluster-boundary link always
+//     gets a controller (the seed rule, unchanged — covers uniform
+//     fabrics where the boundary is organizational, not a taper);
+//   - a switch endpoint of a switch-switch link whose egress rate over
+//     that link is below the switch's fastest egress rate gets one too
+//     (the taper rule — fat-tree up links, dragonfly global links).
+//
+// Device attachments never get controllers: a controller guards a
+// shared fabric bottleneck, not a single endpoint's own port. On every
+// fabric whose only switch-switch links are boundary links (all the
+// seed presets) the union rule reduces exactly to the seed rule.
+type Placement struct {
+	AtA, AtB []bool
+	// N is the total controller count — the fabric's taper-point count.
+	N int
+}
+
+// ControllerPlacement derives the controller placement of a validated
+// graph from its per-direction link rates. Like Routes, it validates
+// first and never panics.
+func (g *Graph) ControllerPlacement() (Placement, error) {
+	ix, err := g.checkedIndex()
+	if err != nil {
+		return Placement{}, err
+	}
+	// maxEgress[n] is the fastest rate node n can send over any one of
+	// its links — the "fast tier" a slower egress tapers from.
+	maxEgress := make([]int, len(ix.names))
+	for _, l := range g.Links {
+		a, b := ix.id[l.A], ix.id[l.B]
+		if r := l.RateAB(); r > maxEgress[a] {
+			maxEgress[a] = r
+		}
+		if r := l.RateBA(); r > maxEgress[b] {
+			maxEgress[b] = r
+		}
+	}
+	p := Placement{AtA: make([]bool, len(g.Links)), AtB: make([]bool, len(g.Links))}
+	for i, l := range g.Links {
+		a, b := ix.id[l.A], ix.id[l.B]
+		if ix.isDev[a] || ix.isDev[b] {
+			continue // device attachment
+		}
+		ca, cb := ix.cluster[a], ix.cluster[b]
+		boundary := ca != cb
+		p.AtA[i] = (boundary && ca != Backbone) || l.RateAB() < maxEgress[a]
+		p.AtB[i] = (boundary && cb != Backbone) || l.RateBA() < maxEgress[b]
+		if p.AtA[i] {
+			p.N++
+		}
+		if p.AtB[i] {
+			p.N++
+		}
+	}
+	return p, nil
+}

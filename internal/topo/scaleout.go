@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"fmt"
+
+	"netcrafter/internal/sim"
+)
+
+// Scale-out fabric builders: the k-ary fat-tree and dragonfly(a,g,h)
+// shapes the distributed-AI literature evaluates at 64-512 GPUs. Both
+// map onto the package's cluster model so the NetCrafter placement rule
+// (see Placement) lands controllers at every bandwidth taper point:
+// a fat-tree pod is a cluster and its core layer is backbone, so edge
+// up-links taper (hostBW > upBW) and aggregation up-links both taper
+// and cross the boundary; a dragonfly group is a cluster, so every
+// global link is a boundary link guarded at both ends.
+
+// FatTree builds a three-tier k-ary fat-tree: k pods of k/2 edge and
+// k/2 aggregation switches each, (k/2)^2 core switches, and
+// hostsPerEdge GPUs per edge switch (k*k/2*hostsPerEdge total). Pod p
+// is cluster p; core switches are Backbone. Every edge switch links to
+// every aggregation switch of its pod at upBW; aggregation switch j of
+// each pod links to core switches j*k/2..j*k/2+k/2-1 at coreBW. Rates
+// taper upward (hostBW >= upBW >= coreBW), which is where the
+// controllers go.
+func FatTree(k, hostsPerEdge, hostBW, upBW, coreBW int, lat sim.Cycle) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree arity %d must be even and >= 2", k))
+	}
+	if hostsPerEdge < 1 {
+		panic(fmt.Sprintf("topo: FatTree needs at least one host per edge switch, got %d", hostsPerEdge))
+	}
+	half := k / 2
+	g := &Graph{Name: fmt.Sprintf("fattree-%d", k*half*hostsPerEdge)}
+
+	edge := func(pod, e int) string { return fmt.Sprintf("e%d.%d", pod, e) }
+	agg := func(pod, a int) string { return fmt.Sprintf("a%d.%d", pod, a) }
+	core := func(c int) string { return fmt.Sprintf("c%d", c) }
+
+	gpu := 0
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			g.Switches = append(g.Switches, Switch{Name: edge(pod, e), Cluster: pod})
+		}
+		for a := 0; a < half; a++ {
+			g.Switches = append(g.Switches, Switch{Name: agg(pod, a), Cluster: pod})
+		}
+		for e := 0; e < half; e++ {
+			for h := 0; h < hostsPerEdge; h++ {
+				name := fmt.Sprintf("gpu%d", gpu)
+				g.Devices = append(g.Devices, Device{Name: name, Cluster: pod})
+				g.Links = append(g.Links, Link{A: name, B: edge(pod, e), BW: hostBW, Latency: lat})
+				gpu++
+			}
+		}
+	}
+	for c := 0; c < half*half; c++ {
+		g.Switches = append(g.Switches, Switch{Name: core(c), Cluster: Backbone})
+	}
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				g.Links = append(g.Links, Link{A: edge(pod, e), B: agg(pod, a), BW: upBW, Latency: lat})
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				g.Links = append(g.Links, Link{A: agg(pod, a), B: core(a*half + c), BW: coreBW, Latency: lat})
+			}
+		}
+	}
+	return g
+}
+
+// Dragonfly builds a dragonfly(a, g, h) fabric: nGroups groups of
+// routersPerGroup fully-connected routers, hostsPerRouter GPUs per
+// router, and globalPerRouter global links per router distributed over
+// the other groups by the standard consecutive assignment (group u's
+// i-th global channel reaches group (u+i+1) mod nGroups, carried by
+// router i/h). Each group is a cluster, so every global link is a
+// cluster-boundary link. Requires nGroups <= a*h+1 so every group pair
+// gets at most one cable; with nGroups == a*h+1 the groups are fully
+// connected. Local and host links run at localBW, global links at
+// globalBW (the taper).
+func Dragonfly(routersPerGroup, nGroups, globalPerRouter, hostsPerRouter, localBW, globalBW int, lat sim.Cycle) *Graph {
+	a, h := routersPerGroup, globalPerRouter
+	if a < 2 || nGroups < 2 || h < 1 || hostsPerRouter < 1 {
+		panic(fmt.Sprintf("topo: Dragonfly(a=%d, g=%d, h=%d, p=%d): need a >= 2, g >= 2, h >= 1, p >= 1",
+			a, nGroups, h, hostsPerRouter))
+	}
+	if nGroups > a*h+1 {
+		panic(fmt.Sprintf("topo: Dragonfly %d groups exceed the %d (a*h+1) the global channels can reach",
+			nGroups, a*h+1))
+	}
+	g := &Graph{Name: fmt.Sprintf("dragonfly-%d", nGroups*a*hostsPerRouter)}
+
+	router := func(grp, r int) string { return fmt.Sprintf("r%d.%d", grp, r) }
+
+	gpu := 0
+	for grp := 0; grp < nGroups; grp++ {
+		for r := 0; r < a; r++ {
+			g.Switches = append(g.Switches, Switch{Name: router(grp, r), Cluster: grp})
+		}
+		for r := 0; r < a; r++ {
+			for p := 0; p < hostsPerRouter; p++ {
+				name := fmt.Sprintf("gpu%d", gpu)
+				g.Devices = append(g.Devices, Device{Name: name, Cluster: grp})
+				g.Links = append(g.Links, Link{A: name, B: router(grp, r), BW: localBW, Latency: lat})
+				gpu++
+			}
+		}
+	}
+	for grp := 0; grp < nGroups; grp++ {
+		for r := 0; r < a; r++ {
+			for r2 := r + 1; r2 < a; r2++ {
+				g.Links = append(g.Links, Link{A: router(grp, r), B: router(grp, r2), BW: localBW, Latency: lat})
+			}
+		}
+	}
+	// Global channels: declaring the u < v side of the consecutive
+	// assignment yields one cable per group pair; with fewer groups
+	// than a*h+1 the assignment wraps, so surplus repeat pairs are
+	// skipped (those channels stay unconnected).
+	seen := make(map[[2]int]bool)
+	for u := 0; u < nGroups; u++ {
+		for i := 0; i < a*h; i++ {
+			v := (u + i + 1) % nGroups
+			if v <= u || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			// v's reverse channel back to u under the same assignment.
+			j := nGroups - i - 2
+			g.Links = append(g.Links, Link{
+				A: router(u, i/h), B: router(v, j/h),
+				BW: globalBW, Latency: lat,
+			})
+		}
+	}
+	return g
+}

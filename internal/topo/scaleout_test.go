@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleOutPresetShapes pins the GPU counts and structure of every
+// scale-out preset and checks each passes validation.
+func TestScaleOutPresetShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		gpus, switches    int
+		clusters          int
+		backboneSwitches  int
+		controllerCount   int
+		boundaryLinkCount int
+	}{
+		// k-ary fat-tree: k pods x (k/2 edge + k/2 agg) + (k/2)^2 core.
+		// Controllers: one per edge->agg up-link (k * (k/2)^2, taper)
+		// plus one per agg->core up-link (same count, taper + boundary).
+		{"fattree-64", 64, 4*4 + 4, 4, 4, 2 * 4 * 4, 4 * 4},
+		{"fattree-128", 128, 8*8 + 16, 8, 16, 2 * 8 * 16, 8 * 16},
+		{"fattree-256", 256, 8*8 + 16, 8, 16, 2 * 8 * 16, 8 * 16},
+		{"fattree-512", 512, 8*8 + 16, 8, 16, 2 * 8 * 16, 8 * 16},
+		// Dragonfly: a routers per group, g groups, one global cable
+		// per group pair; every global link is boundary, guarded at
+		// both clustered ends.
+		{"dragonfly-64", 64, 4 * 8, 8, 0, 2 * (8 * 7 / 2), 8 * 7 / 2},
+		{"dragonfly-128", 128, 4 * 8, 8, 0, 2 * (8 * 7 / 2), 8 * 7 / 2},
+		{"dragonfly-256", 256, 8 * 16, 16, 0, 2 * (16 * 15 / 2), 16 * 15 / 2},
+		{"dragonfly-512", 512, 8 * 16, 16, 0, 2 * (16 * 15 / 2), 16 * 15 / 2},
+	} {
+		g, err := Preset(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(g.Devices) != tc.gpus {
+			t.Errorf("%s: %d GPUs, want %d", tc.name, len(g.Devices), tc.gpus)
+		}
+		if len(g.Switches) != tc.switches {
+			t.Errorf("%s: %d switches, want %d", tc.name, len(g.Switches), tc.switches)
+		}
+		if n := g.NumClusters(); n != tc.clusters {
+			t.Errorf("%s: %d clusters, want %d", tc.name, n, tc.clusters)
+		}
+		backbone := 0
+		for _, s := range g.Switches {
+			if s.Cluster == Backbone {
+				backbone++
+			}
+		}
+		if backbone != tc.backboneSwitches {
+			t.Errorf("%s: %d backbone switches, want %d", tc.name, backbone, tc.backboneSwitches)
+		}
+		boundary := 0
+		for _, l := range g.Links {
+			if g.Boundary(l) {
+				boundary++
+			}
+		}
+		if boundary != tc.boundaryLinkCount {
+			t.Errorf("%s: %d boundary links, want %d", tc.name, boundary, tc.boundaryLinkCount)
+		}
+		p, err := g.ControllerPlacement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N != tc.controllerCount {
+			t.Errorf("%s: %d taper points, want %d", tc.name, p.N, tc.controllerCount)
+		}
+	}
+}
+
+// TestFatTreePlacementLevels checks the taper rule lands controllers at
+// both fat-tree levels: the edge side of every edge->agg link (8 > 4)
+// and the agg side of every agg->core link (4 > 2) — and nowhere else.
+func TestFatTreePlacementLevels(t *testing.T) {
+	g := FatTree(4, 8, 8, 4, 2, 1)
+	p, err := g.ControllerPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range g.Links {
+		ed := strings.HasPrefix(l.A, "e") && strings.HasPrefix(l.B, "a")
+		up := strings.HasPrefix(l.A, "a") && strings.HasPrefix(l.B, "c")
+		switch {
+		case ed: // edge -> agg: taper at the edge side only
+			if !p.AtA[i] || p.AtB[i] {
+				t.Errorf("link %s-%s: placement (%v,%v), want (true,false)", l.A, l.B, p.AtA[i], p.AtB[i])
+			}
+		case up: // agg -> core: taper+boundary at the agg side only
+			if !p.AtA[i] || p.AtB[i] {
+				t.Errorf("link %s-%s: placement (%v,%v), want (true,false)", l.A, l.B, p.AtA[i], p.AtB[i])
+			}
+		default: // host attachments: never
+			if p.AtA[i] || p.AtB[i] {
+				t.Errorf("host link %s-%s got a controller", l.A, l.B)
+			}
+		}
+	}
+}
+
+// TestLegacyPresetPlacementUnchanged pins the generalized rule to the
+// seed rule on every pre-existing preset: controllers at exactly the
+// clustered endpoints of boundary links, nothing added by the taper
+// clause.
+func TestLegacyPresetPlacementUnchanged(t *testing.T) {
+	for _, name := range []string{
+		"frontier-4x2", "frontier-8x2", "frontier-8x4",
+		"ring-8x4", "fc-8x4", "asym-4x2", "uniform-4x2",
+	} {
+		g, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := g.ControllerPlacement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range g.Links {
+			ca, _ := g.NodeCluster(l.A)
+			cb, _ := g.NodeCluster(l.B)
+			wantA := g.Boundary(l) && ca != Backbone
+			wantB := g.Boundary(l) && cb != Backbone
+			if p.AtA[i] != wantA || p.AtB[i] != wantB {
+				t.Errorf("%s link %s-%s: placement (%v,%v), legacy rule (%v,%v)",
+					name, l.A, l.B, p.AtA[i], p.AtB[i], wantA, wantB)
+			}
+		}
+	}
+}
+
+// TestBuilderPanics pins the shape guards.
+func TestBuilderPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"fattree-odd-k", func() { FatTree(3, 2, 8, 4, 2, 1) }},
+		{"fattree-no-hosts", func() { FatTree(4, 0, 8, 4, 2, 1) }},
+		{"dragonfly-one-router", func() { Dragonfly(1, 4, 1, 1, 8, 2, 1) }},
+		{"dragonfly-too-many-groups", func() { Dragonfly(2, 9, 2, 1, 8, 2, 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// TestPresetDidYouMean checks unknown preset names suggest the closest
+// valid one.
+func TestPresetDidYouMean(t *testing.T) {
+	_, err := Preset("fattree-65")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "fattree-64") {
+		t.Fatalf("no did-you-mean suggestion: %v", err)
+	}
+}
+
+// TestSpecUnknownNodeDidYouMean checks dangling spec references suggest
+// the closest declared node.
+func TestSpecUnknownNodeDidYouMean(t *testing.T) {
+	_, err := Parse([]byte(`{
+	  "devices": [{"name": "gpu0", "cluster": 0}, {"name": "gpu1", "cluster": 1}],
+	  "switches": [{"name": "sw0", "cluster": 0}, {"name": "sw1", "cluster": 1}],
+	  "links": [
+	    {"a": "gpu0", "b": "sw0", "bw": 8},
+	    {"a": "gpu1", "b": "sw1", "bw": 8},
+	    {"a": "sw0", "b": "sw11", "bw": 1}
+	  ]
+	}`))
+	if err == nil {
+		t.Fatal("dangling endpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown node") ||
+		!strings.Contains(err.Error(), `did you mean "sw1"`) {
+		t.Fatalf("no did-you-mean suggestion: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package topo
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"netcrafter/internal/sim"
@@ -103,13 +104,16 @@ func ParseFile(path string) (*Graph, error) {
 }
 
 // Load resolves a -topo argument: a preset name first, then a spec
-// file path.
+// file path. A name matching neither surfaces the preset error, which
+// carries the did-you-mean suggestion and the known-preset list.
 func Load(nameOrPath string) (*Graph, error) {
-	if g, err := Preset(nameOrPath); err == nil {
+	g, perr := Preset(nameOrPath)
+	if perr == nil {
 		return g, nil
 	}
 	if _, err := os.Stat(nameOrPath); err != nil {
-		return nil, errf("%q is neither a preset (%v) nor a spec file", nameOrPath, Presets())
+		// perr already carries the "topo:" prefix.
+		return nil, fmt.Errorf("%v; nor is it a spec file", perr)
 	}
 	return ParseFile(nameOrPath)
 }

@@ -22,7 +22,10 @@
 // hashing that rendering into sweep manifests.
 package topo
 
-import "netcrafter/internal/sim"
+import (
+	"netcrafter/internal/names"
+	"netcrafter/internal/sim"
+)
 
 // Backbone is the cluster ID of a switch that belongs to no GPU
 // cluster: part of the inter-cluster fabric, outside every controller.
@@ -124,22 +127,43 @@ func (g *Graph) Boundary(l Link) bool {
 	return oka && okb && ca != cb
 }
 
-// gindex is the resolved form of a Graph used by validation and
-// routing: integer node IDs (devices first, then switches, in
-// declaration order) and adjacency lists in link-declaration order —
-// the order that makes routing tie-breaks deterministic.
+// gindex is the resolved form of a Graph shared by validation, routing
+// and instantiation: stable integer node IDs (devices first, then
+// switches, each in declaration order) and a compact CSR adjacency
+// whose per-node neighbor order is link-declaration order — the order
+// that makes routing tie-breaks deterministic. int32 node IDs keep the
+// routing tables and BFS frontiers cache-compact at the 512-GPU scale.
 type gindex struct {
 	id      map[string]int
 	names   []string
 	isDev   []bool
 	cluster []int
-	adj     [][]int // neighbor node IDs, in link-declaration order
+	// CSR adjacency: node n's neighbors are adjNode[adjStart[n]:adjStart[n+1]].
+	adjStart []int32
+	adjNode  []int32
 }
 
-// index resolves names to IDs. It reports the first duplicate or empty
-// name; deeper checks live in Validate.
+// neighbors returns node n's neighbor IDs in link-declaration order.
+func (ix *gindex) neighbors(n int) []int32 {
+	return ix.adjNode[ix.adjStart[n]:ix.adjStart[n+1]]
+}
+
+// degree returns node n's link count.
+func (ix *gindex) degree(n int) int {
+	return int(ix.adjStart[n+1] - ix.adjStart[n])
+}
+
+// index resolves names to IDs and builds the CSR adjacency. It reports
+// the first duplicate or empty name and dangling link endpoints (with a
+// did-you-mean suggestion); deeper checks live in Validate.
 func (g *Graph) index() (*gindex, error) {
-	ix := &gindex{id: make(map[string]int)}
+	n := len(g.Devices) + len(g.Switches)
+	ix := &gindex{
+		id:      make(map[string]int, n),
+		names:   make([]string, 0, n),
+		isDev:   make([]bool, 0, n),
+		cluster: make([]int, 0, n),
+	}
 	add := func(name string, dev bool, cluster int) error {
 		if name == "" {
 			return errf("node with empty name")
@@ -163,18 +187,40 @@ func (g *Graph) index() (*gindex, error) {
 			return nil, err
 		}
 	}
-	ix.adj = make([][]int, len(ix.names))
+	ix.adjStart = make([]int32, n+1)
 	for _, l := range g.Links {
 		a, oka := ix.id[l.A]
 		b, okb := ix.id[l.B]
 		if !oka {
-			return nil, errf("link %s-%s references unknown node %q", l.A, l.B, l.A)
+			return nil, unknownNodeErr(ix, l, l.A)
 		}
 		if !okb {
-			return nil, errf("link %s-%s references unknown node %q", l.A, l.B, l.B)
+			return nil, unknownNodeErr(ix, l, l.B)
 		}
-		ix.adj[a] = append(ix.adj[a], b)
-		ix.adj[b] = append(ix.adj[b], a)
+		ix.adjStart[a+1]++
+		ix.adjStart[b+1]++
+	}
+	for i := 0; i < n; i++ {
+		ix.adjStart[i+1] += ix.adjStart[i]
+	}
+	ix.adjNode = make([]int32, ix.adjStart[n])
+	cursor := make([]int32, n)
+	copy(cursor, ix.adjStart[:n])
+	for _, l := range g.Links {
+		a, b := ix.id[l.A], ix.id[l.B]
+		ix.adjNode[cursor[a]] = int32(b)
+		cursor[a]++
+		ix.adjNode[cursor[b]] = int32(a)
+		cursor[b]++
 	}
 	return ix, nil
+}
+
+// unknownNodeErr reports a dangling link endpoint, suggesting the
+// closest declared node name when the reference looks like a typo.
+func unknownNodeErr(ix *gindex, l Link, name string) error {
+	if s := names.Closest(name, ix.names); s != "" {
+		return errf("link %s-%s references unknown node %q (did you mean %q?)", l.A, l.B, name, s)
+	}
+	return errf("link %s-%s references unknown node %q", l.A, l.B, name)
 }

@@ -221,3 +221,42 @@ func TestDOT(t *testing.T) {
 		}
 	}
 }
+
+// TestDOTLargeGraph pins the scale-out rendering: past dotLargeNodes
+// nodes the output switches to the hierarchical layout with devices
+// collapsed into per-switch summary boxes, no per-link labels, and
+// taper-point switches highlighted.
+func TestDOTLargeGraph(t *testing.T) {
+	g, err := Preset("fattree-64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{
+		"layout=dot",
+		"rankdir=BT",
+		`label="8 GPUs"`,        // collapsed device box
+		`"e0.0.gpus"`,           // summary node id
+		"fillcolor=orange",      // taper-point switch
+		"style=bold, color=red", // boundary agg-core links
+		"64 GPUs, 20 switches",  // header comment
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("large DOT missing %q", want)
+		}
+	}
+	for _, reject := range []string{
+		`"gpu0"`,      // individual devices must be collapsed
+		"label=\"8\"", // per-link bandwidth labels must be dropped
+		"@",           // latency labels likewise
+	} {
+		if strings.Contains(dot, reject) {
+			t.Errorf("large DOT still contains %q", reject)
+		}
+	}
+	// Core switches have no taper points (no egress slower than their
+	// fastest) and stay unfilled.
+	if strings.Contains(dot, `"c0" [shape=diamond, style=filled`) {
+		t.Error("core switch c0 marked as a taper point")
+	}
+}

@@ -25,16 +25,32 @@ func errf(format string, args ...any) error {
 // oversubscribed switch port counts, non-contiguous cluster numbering,
 // and a disconnected graph.
 func (g *Graph) Validate() error {
+	_, err := g.checkedIndex()
+	return err
+}
+
+// checkedIndex builds the shared gindex and runs every validation on
+// it — the single resolve-and-check step behind Validate, Routes and
+// ControllerPlacement, so the index is never built twice per call.
+func (g *Graph) checkedIndex() (*gindex, error) {
 	if len(g.Devices) == 0 {
-		return errf("graph %q has no devices", g.Name)
+		return nil, errf("graph %q has no devices", g.Name)
 	}
 	if len(g.Switches) == 0 {
-		return errf("graph %q has no switches", g.Name)
+		return nil, errf("graph %q has no switches", g.Name)
 	}
 	ix, err := g.index()
 	if err != nil {
-		return err
+		return nil, err
 	}
+	if err := g.validate(ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// validate runs the structural checks over a resolved index.
+func (g *Graph) validate(ix *gindex) error {
 
 	// Cluster numbering: devices cover 0..K-1 with no gaps; switches
 	// are Backbone or in a cluster that owns at least one device.
@@ -96,12 +112,12 @@ func (g *Graph) Validate() error {
 	// Degrees: a device has exactly one port, on a same-cluster switch;
 	// switches carry at least one and at most MaxSwitchPorts links.
 	for i, name := range ix.names {
-		deg := len(ix.adj[i])
+		deg := ix.degree(i)
 		if ix.isDev[i] {
 			if deg != 1 {
 				return errf("device %s has %d links, want exactly 1", name, deg)
 			}
-			peer := ix.adj[i][0]
+			peer := ix.neighbors(i)[0]
 			if ix.cluster[peer] != ix.cluster[i] {
 				return errf("device %s (cluster %d) attached to %s (cluster %d): must match",
 					name, ix.cluster[i], ix.names[peer], ix.cluster[peer])
@@ -118,12 +134,12 @@ func (g *Graph) Validate() error {
 
 	// Connectivity: one fabric, every node reachable.
 	visited := make([]bool, len(ix.names))
-	queue := []int{0}
+	queue := make([]int32, 0, len(ix.names))
+	queue = append(queue, 0)
 	visited[0] = true
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, p := range ix.adj[n] {
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		for _, p := range ix.neighbors(int(n)) {
 			if !visited[p] {
 				visited[p] = true
 				queue = append(queue, p)

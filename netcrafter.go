@@ -181,6 +181,44 @@ func FullyConnectedTopology(nClusters, gpusPerCluster, intraBW, interBW int, lat
 	return topo.FullyConnected(nClusters, gpusPerCluster, intraBW, interBW, latency)
 }
 
+// FatTreeTopology builds a k-ary fat-tree scale-out fabric: k pods
+// (one GPU cluster each, k/2 edge + k/2 aggregation switches) under a
+// (k/2)^2-switch backbone core, with hostsPerEdge GPUs per edge switch
+// and bandwidth tapering host -> up -> core. Controllers land at every
+// taper point — the edge side of each edge-agg link and the agg side
+// of each agg-core link — not just the pod boundary (see
+// TopologyTaperPoints). FatTreeTopology(4, 8, 8, 4, 2, 1) is the
+// fattree-64 preset.
+func FatTreeTopology(k, hostsPerEdge, hostBW, upBW, coreBW int, latency Cycle) *Topology {
+	return topo.FatTree(k, hostsPerEdge, hostBW, upBW, coreBW, latency)
+}
+
+// DragonflyTopology builds a dragonfly(a, g, h) scale-out fabric: g
+// groups (one GPU cluster each) of a fully connected routers, h global
+// channels per router spread over the other groups (one cable per
+// group pair), and hostsPerRouter GPUs per router. Global links run at
+// globalBW < localBW, so every global link gets a controller at both
+// ends. DragonflyTopology(4, 8, 2, 2, 8, 2, 1) is the dragonfly-64
+// preset.
+func DragonflyTopology(routersPerGroup, nGroups, globalPerRouter, hostsPerRouter, localBW, globalBW int, latency Cycle) *Topology {
+	return topo.Dragonfly(routersPerGroup, nGroups, globalPerRouter, hostsPerRouter, localBW, globalBW, latency)
+}
+
+// TopologyTaperPoints counts a fabric's bandwidth taper points — the
+// link endpoints where a NetCrafter controller is spliced in when the
+// topology is instantiated (System.Controllers has exactly this many
+// entries). On single-level fabrics this is the clustered endpoints of
+// the boundary links; on multi-level fabrics (fat-trees) it also
+// counts within-pod egresses whose rate drops below the switch's
+// fastest port.
+func TopologyTaperPoints(g *Topology) (int, error) {
+	p, err := g.ControllerPlacement()
+	if err != nil {
+		return 0, err
+	}
+	return p.N, nil
+}
+
 // Run builds a fresh system with cfg and executes the named workload
 // at the given scale. A generous default cycle limit is applied.
 func Run(cfg Config, name string, sc Scale) (*Result, error) {
